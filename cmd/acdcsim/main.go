@@ -1,0 +1,63 @@
+// Command acdcsim runs the paper-reproduction experiments.
+//
+// Usage:
+//
+//	acdcsim -list              list experiment IDs
+//	acdcsim fig8 table1 …      run selected experiments
+//	acdcsim -all               run the whole registry
+//	acdcsim -long fig14        closer-to-paper durations (~10×)
+//	acdcsim -seed 7 fig1       change the simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"acdc/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	all := flag.Bool("all", false, "run every experiment")
+	long := flag.Bool("long", false, "run closer-to-paper durations (~10x)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if *all {
+		ids = nil
+		for _, e := range experiments.Registry {
+			ids = append(ids, e.ID)
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: acdcsim [-long] [-seed N] (-list | -all | <experiment-id>...)")
+		fmt.Fprintln(os.Stderr, "run `acdcsim -list` for available experiments")
+		os.Exit(2)
+	}
+
+	cfg := experiments.RunConfig{Long: *long, Seed: *seed}
+	exit := 0
+	for _, id := range ids {
+		e := experiments.ByID(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			exit = 1
+			continue
+		}
+		start := time.Now()
+		res := e.Run(cfg)
+		fmt.Print(res.String())
+		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+	os.Exit(exit)
+}

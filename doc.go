@@ -1,0 +1,14 @@
+// Package acdc is a from-scratch Go reproduction of "AC/DC TCP: Virtual
+// Congestion Control Enforcement for Datacenter Networks" (He et al.,
+// SIGCOMM 2016): per-flow congestion control enforced in the virtual switch
+// over arbitrary guest TCP stacks, together with the full substrate needed
+// to evaluate it — a discrete-event datacenter network simulator, a TCP
+// endpoint implementation with six congestion-control variants, the paper's
+// topologies and workloads, and a harness that regenerates every table and
+// figure in the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate each experiment
+// (go test -bench=. -benchmem).
+package acdc

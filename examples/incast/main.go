@@ -1,0 +1,66 @@
+// Incast: the paper's §5.2 many-to-one scenario — 40 senders blast one
+// receiver, the situation that melts partition/aggregate applications.
+// The example runs the same fan-in under plain CUBIC, native DCTCP, and
+// AC/DC-over-CUBIC, and prints throughput, fairness, RTT, and drops.
+package main
+
+import (
+	"fmt"
+
+	"acdc/internal/experiments"
+	"acdc/internal/sim"
+	"acdc/internal/stats"
+	"acdc/internal/tcpstack"
+	"acdc/internal/topo"
+	"acdc/internal/workload"
+)
+
+func main() {
+	const fanIn = 40
+	fmt.Printf("%d-to-1 incast on a 48-port 10G switch, 9MB shared buffer\n\n", fanIn)
+	table := stats.NewTable("scheme", "per-flow Mbps", "fairness", "RTT p50", "RTT p99.9", "drops")
+
+	schemes := []experiments.Scheme{
+		experiments.SchemeCUBIC(9000),
+		experiments.SchemeDCTCP(9000),
+		experiments.SchemeACDC(9000, "cubic", tcpstack.ECNOff),
+	}
+	for _, scheme := range schemes {
+		net := topo.Star(fanIn+2, topo.Options{
+			Guest: scheme.Guest, ACDC: scheme.ACDC, RED: scheme.RED,
+		})
+		m := workload.NewManager(net)
+		senders := make([]int, fanIn)
+		for i := range senders {
+			senders[i] = i
+		}
+		prober := workload.NewProber(m, fanIn+1, fanIn)
+		flows := workload.Incast(m, senders, fanIn)
+		net.Sim.RunFor(100 * sim.Millisecond)
+		prober.Start()
+		t0 := net.Sim.Now()
+		start := make([]int64, len(flows))
+		for i, f := range flows {
+			start[i] = f.Delivered()
+		}
+		net.Sim.RunFor(200 * sim.Millisecond)
+		prober.Stop()
+
+		rates := make([]float64, len(flows))
+		span := (net.Sim.Now() - t0).Seconds()
+		var total float64
+		for i, f := range flows {
+			rates[i] = float64(f.Delivered()-start[i]) * 8 / span
+			total += rates[i]
+		}
+		table.Row(scheme.Name,
+			fmt.Sprintf("%.0f", total/float64(fanIn)/1e6),
+			stats.JainFairness(rates),
+			fmt.Sprintf("%.2fms", prober.Samples.Percentile(50)/1e6),
+			fmt.Sprintf("%.2fms", prober.Samples.Percentile(99.9)/1e6),
+			net.TotalDrops())
+	}
+	fmt.Println(table)
+	fmt.Println("AC/DC gives unmodified CUBIC guests DCTCP's incast behaviour:")
+	fmt.Println("zero drops and millisecond-to-microsecond RTT reduction.")
+}

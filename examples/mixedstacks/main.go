@@ -1,0 +1,72 @@
+// Mixedstacks: the paper's motivating unfairness (Figure 1) and its fix
+// (Figure 17). Five tenants run five different TCP congestion controls on
+// one fabric; aggressive stacks (Illinois, HighSpeed) dominate while
+// delay-based Vegas starves. Attaching AC/DC makes the same zoo of stacks
+// share like five DCTCP flows.
+package main
+
+import (
+	"fmt"
+
+	"acdc/internal/core"
+	"acdc/internal/netsim"
+	"acdc/internal/sim"
+	"acdc/internal/stats"
+	"acdc/internal/tcpstack"
+	"acdc/internal/topo"
+	"acdc/internal/workload"
+)
+
+var ccs = []string{"illinois", "cubic", "reno", "vegas", "highspeed"}
+
+func run(withACDC bool) ([]float64, float64) {
+	guestFor := func(host int) *tcpstack.Config {
+		g := tcpstack.DefaultConfig()
+		if host < len(ccs) {
+			g.CC = ccs[host]
+		}
+		return &g
+	}
+	o := topo.Options{
+		Guest:    tcpstack.DefaultConfig(),
+		GuestFor: guestFor,
+	}
+	if withACDC {
+		ac := core.DefaultConfig()
+		o.ACDC = &ac
+		o.RED = netsim.REDConfig{MarkThresholdBytes: topo.DefaultMarkThreshold}
+	}
+	net := topo.Dumbbell(5, o)
+	m := workload.NewManager(net)
+	flows := make([]*workload.Messenger, 5)
+	for i := range flows {
+		flows[i] = workload.Bulk(m, i, 5+i)
+	}
+	net.Sim.RunFor(100 * sim.Millisecond)
+	t0 := net.Sim.Now()
+	start := make([]int64, 5)
+	for i, f := range flows {
+		start[i] = f.Delivered()
+	}
+	net.Sim.RunFor(300 * sim.Millisecond)
+	span := (net.Sim.Now() - t0).Seconds()
+	rates := make([]float64, 5)
+	for i, f := range flows {
+		rates[i] = float64(f.Delivered()-start[i]) * 8 / span / 1e9
+	}
+	return rates, stats.JainFairness(rates)
+}
+
+func main() {
+	fmt.Println("five tenants, five different TCP stacks, one 10G bottleneck")
+	fmt.Println()
+	before, fBefore := run(false)
+	after, fAfter := run(true)
+
+	t := stats.NewTable("stack", "native Gbps", "under AC/DC Gbps")
+	for i, cc := range ccs {
+		t.Row(cc, before[i], after[i])
+	}
+	fmt.Println(t)
+	fmt.Printf("Jain fairness: native %.3f → AC/DC %.3f\n", fBefore, fAfter)
+}

@@ -1,0 +1,3 @@
+module acdc
+
+go 1.22

@@ -1,0 +1,97 @@
+package cc
+
+import (
+	"math"
+	"testing"
+)
+
+func timelyCtx() (*Timely, *Ctx) {
+	a := New("timely").(*Timely)
+	c := &Ctx{MSS: 1500, Cwnd: 10, Ssthresh: 1} // out of slow start
+	a.Init(c)
+	c.MinRTT = 100_000
+	return a, c
+}
+
+func TestTimelyAdditiveIncreaseBelowTlow(t *testing.T) {
+	a, c := timelyCtx()
+	before := c.Cwnd
+	for i := 0; i < 10; i++ { // one window of ACKs at a low RTT
+		a.PktsAcked(c, 40_000) // < Tlow=50µs
+	}
+	// ≈ +1 MSS per RTT.
+	if c.Cwnd-before < 0.7 || c.Cwnd-before > 1.3 {
+		t.Fatalf("low-RTT growth per RTT = %v, want ≈1", c.Cwnd-before)
+	}
+}
+
+func TestTimelyMultiplicativeDecreaseAboveThigh(t *testing.T) {
+	a, c := timelyCtx()
+	before := c.Cwnd
+	for i := 0; i < 10; i++ {
+		a.PktsAcked(c, 1_000_000) // ≫ Thigh=500µs
+	}
+	if c.Cwnd >= before {
+		t.Fatalf("high-RTT: cwnd %v did not decrease from %v", c.Cwnd, before)
+	}
+}
+
+func TestTimelyGradientSteering(t *testing.T) {
+	a, c := timelyCtx()
+	// Rising RTTs inside the band → back off.
+	rtt := int64(100_000)
+	a.PktsAcked(c, rtt)
+	before := c.Cwnd
+	for i := 0; i < 20; i++ {
+		rtt += 15_000
+		a.PktsAcked(c, rtt)
+	}
+	if c.Cwnd >= before {
+		t.Fatalf("rising gradient: cwnd %v did not decrease from %v", c.Cwnd, before)
+	}
+
+	// Falling RTTs → grow again (with HAI after a streak).
+	before = c.Cwnd
+	for i := 0; i < 20; i++ {
+		rtt -= 9_000
+		if rtt < 110_000 {
+			rtt = 110_000
+		}
+		a.PktsAcked(c, rtt)
+	}
+	if c.Cwnd <= before {
+		t.Fatalf("falling gradient: cwnd %v did not grow from %v", c.Cwnd, before)
+	}
+}
+
+func TestTimelyFloorsAtTwo(t *testing.T) {
+	a, c := timelyCtx()
+	c.Cwnd = 2.1
+	for i := 0; i < 200; i++ {
+		a.PktsAcked(c, 5_000_000)
+	}
+	if c.Cwnd < 2 || math.IsNaN(c.Cwnd) {
+		t.Fatalf("cwnd %v below floor", c.Cwnd)
+	}
+}
+
+func TestTimelyConvergesToStableRTT(t *testing.T) {
+	// Closed loop toy model: RTT = base + queue, queue ∝ (cwnd − BDP).
+	a, c := timelyCtx()
+	base := 50_000.0 // = Tlow: below band when queue empty
+	bdp := 20.0
+	c.MinRTT = int64(base)
+	for i := 0; i < 5000; i++ {
+		q := (c.Cwnd - bdp) / bdp
+		if q < 0 {
+			q = 0
+		}
+		rtt := int64(base * (1 + q*4))
+		a.PktsAcked(c, rtt)
+	}
+	// The loop must stabilize somewhere sane: above BDP/2, below 10×BDP,
+	// with RTT inside or near the band.
+	if c.Cwnd < bdp/2 || c.Cwnd > bdp*10 {
+		t.Fatalf("TIMELY equilibrium cwnd %v implausible for BDP %v", c.Cwnd, bdp)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"acdc/internal/netsim"
+	"acdc/internal/sim"
+)
+
+// Config parameterizes one host's AC/DC module.
+type Config struct {
+	// VCC names the default virtual congestion control ("dctcp" or "reno").
+	VCC string
+	// MTU sets the default MSS (MTU − 40) used before a handshake MSS
+	// option is observed.
+	MTU int
+	// G is DCTCP's α EWMA gain (default 1/16).
+	G float64
+	// MaxAlpha is the α assigned on loss (Figure 5's max_alpha; default 1).
+	MaxAlpha float64
+	// InitAlpha seeds α for new flows (default 1, as in Linux DCTCP).
+	InitAlpha float64
+	// InitCwndPkts is the virtual initial window in MSS units (default 10).
+	InitCwndPkts float64
+	// MinRwndBytes floors the enforced window. 0 means one MSS — the bound
+	// the paper applies at β=0 and the reason AC/DC beats host DCTCP's
+	// 2-packet floor in deep incast (§5.2).
+	MinRwndBytes int64
+	// VTimeout is the per-flow inactivity timer used to infer guest
+	// timeouts (§3.1).
+	VTimeout sim.Duration
+	// EnforceRwnd enables overwriting the receive window; when false with
+	// LogRwnd set, the module runs in the Figure 9 measurement mode.
+	EnforceRwnd bool
+	// MarkECT makes all egress packets ECN-capable (§3.2).
+	MarkECT bool
+	// StripECN removes congestion signals before packets reach the guest.
+	StripECN bool
+	// DisablePACK forces all feedback onto dedicated FACK packets (ablation:
+	// feedback piggybacking vs packet overhead).
+	DisablePACK bool
+	// UDPTunnel enables DCTCP-friendly UDP tunnels (the paper's §3.3
+	// future work): guest datagrams are admitted through a virtual DCTCP
+	// window with vSwitch-generated feedback. See tunnel.go.
+	UDPTunnel bool
+	// CutEveryAck disables Figure 5's once-per-window cut guard (ablation:
+	// without it every marked ACK multiplies the window down and flows
+	// collapse to the floor).
+	CutEveryAck bool
+	// Police drops egress segments beyond the allowed window (§3.3).
+	Police bool
+	// PoliceSlackBytes is the allowance above the window before policing
+	// drops (default 2 MSS).
+	PoliceSlackBytes int64
+	// GenDupAcks synthesizes three duplicate ACKs to the guest when the
+	// inactivity timer infers loss, triggering guest fast retransmit ahead
+	// of a long guest RTO (§3.3).
+	GenDupAcks bool
+	// FlowPolicy assigns per-flow differentiation (β, clamps, algorithm);
+	// nil means DefaultPolicy for everything.
+	FlowPolicy func(FlowKey) Policy
+	// GCInterval/IdleTimeout drive the coarse-grained flow garbage
+	// collector (swept lazily from the datapath, §4).
+	GCInterval  sim.Duration
+	IdleTimeout sim.Duration
+}
+
+// DefaultConfig returns the paper's settings: DCTCP in the vSwitch, ECT
+// marking, ECN stripping, RWND enforcement, IW=10, α EWMA gain 1/16.
+func DefaultConfig() Config {
+	return Config{
+		VCC:          "dctcp",
+		MTU:          9000,
+		G:            1.0 / 16,
+		MaxAlpha:     1,
+		InitAlpha:    1,
+		InitCwndPkts: 10,
+		VTimeout:     10 * sim.Millisecond,
+		EnforceRwnd:  true,
+		MarkECT:      true,
+		StripECN:     true,
+		GCInterval:   sim.Second,
+		IdleTimeout:  10 * sim.Second,
+	}
+}
+
+// Stats counts datapath events.
+type Stats struct {
+	FlowsCreated, FlowsRemoved   int64
+	PacksAttached, FacksSent     int64
+	FacksConsumed, PacksConsumed int64
+	RwndRewrites, RwndUnchanged  int64
+	PolicingDrops                int64
+	VTimeouts, DupAcksGenerated  int64
+	UntrackedSegs                int64
+	EgressSegs, IngressSegs      int64
+}
+
+// VSwitch is one host's AC/DC datapath instance (the OVS modification).
+type VSwitch struct {
+	Sim   *sim.Simulator
+	Host  *netsim.Host
+	Cfg   Config
+	Table *Table
+	Stats Stats
+
+	// OnRwndComputed, when set, observes every computed enforcement window
+	// (flow, window bytes, whether the ACK's RWND was overwritten). Figures
+	// 9 and 10 are built on this hook.
+	OnRwndComputed func(f *Flow, rwndBytes int64, overwrote bool)
+
+	lastSweep sim.Time
+	sweepTick int
+}
+
+// Attach creates an AC/DC module on host and installs its datapath hooks.
+func Attach(s *sim.Simulator, host *netsim.Host, cfg Config) *VSwitch {
+	if cfg.G == 0 {
+		cfg.G = 1.0 / 16
+	}
+	if cfg.MaxAlpha == 0 {
+		cfg.MaxAlpha = 1
+	}
+	if cfg.InitCwndPkts == 0 {
+		cfg.InitCwndPkts = 10
+	}
+	if cfg.MTU == 0 {
+		cfg.MTU = 9000
+	}
+	if cfg.VTimeout == 0 {
+		cfg.VTimeout = 10 * sim.Millisecond
+	}
+	if cfg.GCInterval == 0 {
+		cfg.GCInterval = sim.Second
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 10 * sim.Second
+	}
+	v := &VSwitch{Sim: s, Host: host, Cfg: cfg, Table: NewTable()}
+	host.Egress = v.Egress
+	host.Ingress = v.Ingress
+	return v
+}
+
+// Detach removes the datapath hooks (reverting to a standard vSwitch).
+func (v *VSwitch) Detach() {
+	v.Host.Egress = nil
+	v.Host.Ingress = nil
+}
+
+// policy resolves the per-flow policy. FlowPolicy callbacks must return a
+// fully specified Policy (start from DefaultPolicy and override); β=0 is a
+// legal value meaning maximum back-off.
+func (v *VSwitch) policy(k FlowKey) Policy {
+	if v.Cfg.FlowPolicy == nil {
+		return DefaultPolicy()
+	}
+	return v.Cfg.FlowPolicy(k)
+}
+
+func (v *VSwitch) newFlow(k FlowKey) *Flow {
+	v.Stats.FlowsCreated++
+	pol := v.policy(k)
+	f := &Flow{
+		Key:    k,
+		Policy: pol,
+		MSS:    v.Cfg.MTU - 40,
+		Alpha:  v.Cfg.InitAlpha,
+	}
+	f.vcc = NewVCC(firstNonEmpty(pol.VCC, v.Cfg.VCC))
+	f.CwndBytes = v.Cfg.InitCwndPkts * float64(f.MSS)
+	f.SsthreshBytes = 1 << 40
+	f.vcc.Init(f)
+	f.lastActive = v.Sim.Now()
+	return f
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+// minRwnd returns the enforcement floor for a flow.
+func (v *VSwitch) minRwnd(f *Flow) int64 {
+	if v.Cfg.MinRwndBytes > 0 {
+		return v.Cfg.MinRwndBytes
+	}
+	return int64(f.MSS)
+}
+
+// maybeSweep runs the coarse-grained GC from the datapath (no timers, so
+// drained simulations terminate).
+func (v *VSwitch) maybeSweep() {
+	v.sweepTick++
+	if v.sweepTick&0xfff != 0 {
+		return
+	}
+	now := v.Sim.Now()
+	if now-v.lastSweep < v.Cfg.GCInterval {
+		return
+	}
+	v.lastSweep = now
+	removed := v.Table.Sweep(func(f *Flow) bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.finFwd && f.finRev && now-f.lastActive > v.Cfg.GCInterval {
+			f.stopTimer()
+			return false
+		}
+		if now-f.lastActive > v.Cfg.IdleTimeout {
+			f.stopTimer()
+			return false
+		}
+		return true
+	})
+	v.Stats.FlowsRemoved += int64(removed)
+}
+
+func (f *Flow) stopTimer() {
+	if f.inactivity != nil {
+		f.inactivity.Stop()
+	}
+}

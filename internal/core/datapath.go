@@ -1,0 +1,378 @@
+package core
+
+import (
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+)
+
+// OptFACK marks a dedicated Fake ACK feedback packet; it carries the same
+// 8-byte payload as a PACK but the packet must be consumed (dropped) by the
+// sender module after the feedback is extracted.
+const OptFACK = 254
+
+// Egress is the vSwitch hook for packets leaving the guest stack (§4's
+// ovs_dp_process_packet on the transmit side).
+func (v *VSwitch) Egress(p *packet.Packet) []*packet.Packet {
+	v.Stats.EgressSegs++
+	v.maybeSweep()
+	ip := p.IP()
+	if !ip.Valid() {
+		return []*packet.Packet{p}
+	}
+	if ip.Protocol() == packet.ProtoUDP && v.Cfg.UDPTunnel {
+		return v.udpEgress(p)
+	}
+	if ip.Protocol() != packet.ProtoTCP {
+		return []*packet.Packet{p}
+	}
+	t := ip.TCP()
+	if !t.Valid() {
+		return []*packet.Packet{p}
+	}
+
+	fwdKey := FlowKey{Src: ip.Src(), Dst: ip.Dst(), SPort: t.SrcPort(), DPort: t.DstPort()}
+	out := p
+
+	syn := t.HasFlags(packet.FlagSYN)
+	plen := int64(p.PayloadLen())
+
+	// --- sender module: track our data direction ---
+	var fwd *Flow
+	if syn || plen > 0 || t.HasFlags(packet.FlagFIN) {
+		fwd, _ = v.Table.GetOrCreate(fwdKey, func() *Flow { return v.newFlow(fwdKey) })
+	} else {
+		fwd = v.Table.Get(fwdKey)
+	}
+	if fwd != nil {
+		if dropped := v.senderEgress(fwd, p, t, syn, plen); dropped {
+			return nil
+		}
+	}
+
+	// --- receiver module: piggyback feedback on ACKs of the reverse flow ---
+	var extra *packet.Packet
+	if t.HasFlags(packet.FlagACK) && !syn {
+		if rev := v.Table.Get(fwdKey.Reverse()); rev != nil {
+			out, extra = v.attachFeedback(rev, out)
+		}
+	}
+
+	// Mark everything ECN-capable so switches mark instead of dropping.
+	if v.Cfg.MarkECT {
+		oip := out.IP()
+		if oip.ECN() == packet.NotECT {
+			oip.SetECN(packet.ECT0)
+		}
+	}
+	if extra != nil {
+		if v.Cfg.MarkECT {
+			eip := extra.IP()
+			if eip.ECN() == packet.NotECT {
+				eip.SetECN(packet.ECT0)
+			}
+		}
+		return []*packet.Packet{out, extra}
+	}
+	return []*packet.Packet{out}
+}
+
+// senderEgress updates connection-tracking state for outgoing segments and
+// applies policing. It reports whether the packet was dropped.
+func (v *VSwitch) senderEgress(f *Flow, p *packet.Packet, t packet.TCP, syn bool, plen int64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lastActive = v.Sim.Now()
+
+	if syn {
+		f.iss = t.Seq()
+		f.issValid = true
+		f.SndUna, f.SndNxt = 1, 1
+		f.alphaSeq, f.cutSeq = 1, 0
+		f.synSeen = true
+		so := packet.ParseSynOptions(t.Options())
+		if so.MSS > 0 && int(so.MSS) < f.MSS {
+			f.MSS = int(so.MSS)
+			f.CwndBytes = v.Cfg.InitCwndPkts * float64(f.MSS)
+		}
+		ecnIntent := t.Flags()&(packet.FlagECE|packet.FlagCWR) != 0
+		if t.HasFlags(packet.FlagACK) {
+			// SYN-ACK (we are the data receiver becoming a sender too):
+			// negotiation outcome is "accepted" iff ECE set here.
+			f.GuestECN = t.HasFlags(packet.FlagECE)
+			f.synAckSeen = true
+		} else {
+			f.GuestECN = ecnIntent
+		}
+		return false
+	}
+
+	if !f.issValid {
+		// Attached mid-stream: anchor absolute space at this segment.
+		f.iss = t.Seq()
+		f.issValid = true
+		f.SndUna, f.SndNxt = 0, 0
+		f.alphaSeq, f.cutSeq = 0, 0
+	}
+
+	if plen > 0 || t.HasFlags(packet.FlagFIN) {
+		absSeq := f.absSeq(t.Seq(), f.SndNxt)
+		segEnd := absSeq + plen
+		if t.HasFlags(packet.FlagFIN) {
+			segEnd++
+			f.finFwd = true
+		}
+
+		if v.Cfg.Police && plen > 0 {
+			allowance := f.CwndBytes
+			if f.prevCwndBytes > allowance {
+				allowance = f.prevCwndBytes
+			}
+			slack := v.Cfg.PoliceSlackBytes
+			if slack == 0 {
+				slack = 2 * int64(f.MSS)
+			}
+			if segEnd-f.SndUna > int64(allowance)+slack {
+				v.Stats.PolicingDrops++
+				return true
+			}
+		}
+
+		if segEnd > f.SndNxt {
+			f.SndNxt = segEnd
+		}
+		if infl := f.SndNxt - f.SndUna; infl > f.maxInflight {
+			f.maxInflight = infl
+		}
+		// Arm the inactivity timer while data is outstanding.
+		if f.inactivity == nil {
+			ff := f
+			f.inactivity = sim.NewTimer(v.Sim, func() { v.onVTimeout(ff) })
+		}
+		f.inactivity.Reset(v.Cfg.VTimeout)
+	}
+	return false
+}
+
+// attachFeedback implements the receiver module's PACK/FACK emission: the
+// running totals ride a TCP option on the real ACK, or a dedicated FACK when
+// they do not fit (or when PACK is disabled for ablation).
+func (v *VSwitch) attachFeedback(rev *Flow, ack *packet.Packet) (out, extra *packet.Packet) {
+	rev.mu.Lock()
+	info := packet.PACKInfo{TotalBytes: rev.TotalBytes, MarkedBytes: rev.MarkedBytes}
+	rev.lastActive = v.Sim.Now()
+	rev.mu.Unlock()
+	if info.TotalBytes == 0 && info.MarkedBytes == 0 {
+		return ack, nil
+	}
+
+	if !v.Cfg.DisablePACK {
+		var opt [packet.PACKOptionLen]byte
+		packet.EncodePACK(opt[:], info)
+		if buf := packet.InsertTCPOption(ack.Buf, opt[:]); buf != nil {
+			ack.Buf = buf
+			v.Stats.PacksAttached++
+			return ack, nil
+		}
+	}
+
+	// FACK fallback: a separate pure ACK carrying the feedback, consumed by
+	// the peer's sender module.
+	v.Stats.FacksSent++
+	t := ack.TCP()
+	ip := ack.IP()
+	var fopt [packet.PACKOptionLen]byte
+	fopt[0] = OptFACK
+	fopt[1] = packet.PACKOptionLen
+	putU32(fopt[2:6], info.TotalBytes)
+	putU32(fopt[6:10], info.MarkedBytes)
+	fack := packet.Build(ip.Src(), ip.Dst(), packet.NotECT, packet.TCPFields{
+		SrcPort: t.SrcPort(), DstPort: t.DstPort(),
+		Seq: t.Seq(), Ack: t.Ack(),
+		Flags: packet.FlagACK, Window: t.Window(),
+		Options: fopt[:],
+	}, 0)
+	fack.FlowTag = ack.FlowTag
+	return ack, fack
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// Ingress is the vSwitch hook for packets arriving from the network.
+func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
+	v.Stats.IngressSegs++
+	v.maybeSweep()
+	ip := p.IP()
+	if !ip.Valid() {
+		return []*packet.Packet{p}
+	}
+	if ip.Protocol() == packet.ProtoUDP && v.Cfg.UDPTunnel {
+		return v.udpIngress(p)
+	}
+	if ip.Protocol() != packet.ProtoTCP {
+		return []*packet.Packet{p}
+	}
+	t := ip.TCP()
+	if !t.Valid() {
+		return []*packet.Packet{p}
+	}
+
+	// fwdKey: peer's data direction (we are receiver). revKey: ours.
+	fwdKey := FlowKey{Src: ip.Src(), Dst: ip.Dst(), SPort: t.SrcPort(), DPort: t.DstPort()}
+	revKey := fwdKey.Reverse()
+
+	syn := t.HasFlags(packet.FlagSYN)
+	plen := int64(p.PayloadLen())
+
+	if syn {
+		v.ingressHandshake(p, t, fwdKey, revKey)
+	}
+
+	// --- sender module: ACKs for our data direction ---
+	if t.HasFlags(packet.FlagACK) && !syn {
+		if fb := packet.FindOption(t.Options(), OptFACK); fb != nil && len(fb) >= 8 {
+			// Dedicated FACK: consume feedback, drop the packet.
+			info := packet.PACKInfo{TotalBytes: getU32(fb[0:4]), MarkedBytes: getU32(fb[4:8])}
+			if f := v.Table.Get(revKey); f != nil {
+				if f.isUDP {
+					v.processUDPFeedback(f, info)
+				} else {
+					v.processFeedbackAndAck(f, p, t, info, true)
+				}
+			}
+			v.Stats.FacksConsumed++
+			return nil
+		}
+		if f := v.Table.Get(revKey); f != nil {
+			var info packet.PACKInfo
+			havePack := false
+			if d := packet.FindOption(t.Options(), packet.OptPACK); d != nil {
+				if pi, ok := packet.ParsePACK(d); ok {
+					info = pi
+					havePack = true
+					v.Stats.PacksConsumed++
+				}
+			}
+			v.processFeedbackAndAck(f, p, t, info, havePack)
+			if havePack {
+				// Strip the PACK so the guest never sees it.
+				p.Buf = packet.RemoveTCPOption(p.Buf, packet.OptPACK)
+				ip = p.IP()
+				t = ip.TCP()
+			}
+		} else {
+			v.Stats.UntrackedSegs++
+		}
+	}
+
+	// --- receiver module: count and strip for the peer's data direction ---
+	if plen > 0 || t.HasFlags(packet.FlagFIN) || syn {
+		f := v.Table.Get(fwdKey)
+		if f == nil && (plen > 0 || t.HasFlags(packet.FlagFIN)) {
+			f, _ = v.Table.GetOrCreate(fwdKey, func() *Flow { return v.newFlow(fwdKey) })
+		}
+		if f != nil {
+			v.receiverIngress(f, p, t, plen)
+		}
+	} else if v.Cfg.StripECN {
+		// Pure ACKs: remove the ECT we (or the peer's AC/DC) set.
+		v.stripECN(p, v.Table.Get(fwdKey))
+	}
+
+	return []*packet.Packet{p}
+}
+
+// ingressHandshake learns window scales and guest ECN negotiation from
+// handshake segments passing toward the guest.
+func (v *VSwitch) ingressHandshake(p *packet.Packet, t packet.TCP, fwdKey, revKey FlowKey) {
+	so := packet.ParseSynOptions(t.Options())
+	// The peer's SYN/SYN-ACK announces the scale applied to the RWND fields
+	// of the ACKs the peer will send — which our sender module rewrites.
+	rev, _ := v.Table.GetOrCreate(revKey, func() *Flow { return v.newFlow(revKey) })
+	rev.mu.Lock()
+	if so.WScaleOK {
+		rev.PeerWScale = so.WScale
+		rev.WScaleKnown = true
+	}
+	if so.MSS > 0 && int(so.MSS) < rev.MSS {
+		rev.MSS = int(so.MSS)
+		if rev.SndNxt <= 1 { // before data: rescale IW
+			rev.CwndBytes = v.Cfg.InitCwndPkts * float64(rev.MSS)
+		}
+	}
+	if t.HasFlags(packet.FlagACK) {
+		// SYN-ACK: ECN accepted iff ECE present.
+		rev.GuestECN = t.HasFlags(packet.FlagECE)
+		rev.synAckSeen = true
+	}
+	rev.lastActive = v.Sim.Now()
+	rev.mu.Unlock()
+
+	fwd, _ := v.Table.GetOrCreate(fwdKey, func() *Flow { return v.newFlow(fwdKey) })
+	fwd.mu.Lock()
+	if t.HasFlags(packet.FlagACK) {
+		fwd.GuestECN = t.HasFlags(packet.FlagECE)
+		fwd.synAckSeen = true
+	} else {
+		fwd.GuestECN = t.Flags()&(packet.FlagECE|packet.FlagCWR) != 0
+		fwd.synSeen = true
+	}
+	fwd.lastActive = v.Sim.Now()
+	fwd.mu.Unlock()
+}
+
+// receiverIngress counts feedback totals and restores guest ECN semantics.
+func (v *VSwitch) receiverIngress(f *Flow, p *packet.Packet, t packet.TCP, plen int64) {
+	f.mu.Lock()
+	f.lastActive = v.Sim.Now()
+	if plen > 0 {
+		f.TotalBytes += uint32(plen)
+		if p.IP().ECN() == packet.CE {
+			f.MarkedBytes += uint32(plen)
+		}
+	}
+	if t.HasFlags(packet.FlagFIN) {
+		f.finFwd = true
+		if rev := v.Table.Get(f.Key.Reverse()); rev != nil {
+			rev.finRev = true
+		}
+	}
+	guestECN := f.GuestECN
+	f.mu.Unlock()
+
+	if v.Cfg.StripECN {
+		ip := p.IP()
+		switch {
+		case !guestECN && ip.ECN() != packet.NotECT:
+			ip.SetECN(packet.NotECT)
+		case guestECN && ip.ECN() == packet.CE:
+			// Hide CE so the guest's own loop (which would over-react or
+			// double-react) never triggers; AC/DC reacts instead.
+			ip.SetECN(packet.ECT0)
+		}
+	}
+}
+
+func (v *VSwitch) stripECN(p *packet.Packet, f *Flow) {
+	guestECN := false
+	if f != nil {
+		f.mu.Lock()
+		guestECN = f.GuestECN
+		f.mu.Unlock()
+	}
+	ip := p.IP()
+	switch {
+	case !guestECN && ip.ECN() != packet.NotECT:
+		ip.SetECN(packet.NotECT)
+	case guestECN && ip.ECN() == packet.CE:
+		ip.SetECN(packet.ECT0)
+	}
+}

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+
+	"acdc/internal/core"
+	"acdc/internal/netsim"
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+	"acdc/internal/tcpstack"
+	"acdc/internal/topo"
+	"acdc/internal/workload"
+)
+
+// Example demonstrates the minimal AC/DC deployment: stock CUBIC guests,
+// DCTCP enforced in the vSwitch, ECN marking at the switch.
+func Example() {
+	guest := tcpstack.DefaultConfig() // CUBIC, no ECN — the tenant's stack
+	acdc := core.DefaultConfig()      // DCTCP in the vSwitch
+
+	net := topo.Star(3, topo.Options{
+		Guest: guest,
+		ACDC:  &acdc,
+		RED:   netsim.REDConfig{MarkThresholdBytes: topo.DefaultMarkThreshold},
+	})
+	m := workload.NewManager(net)
+	workload.Bulk(m, 0, 2)
+	workload.Bulk(m, 1, 2)
+	net.Sim.RunFor(100 * sim.Millisecond)
+
+	fmt.Println("drops:", net.TotalDrops())
+	fmt.Println("queue bounded:", net.Switches[0].Port(2).Stats.MaxQueueBytes < 12*topo.DefaultMarkThreshold)
+	fmt.Println("windows enforced:", net.ACDC[0].Stats.RwndRewrites > 0)
+	// Output:
+	// drops: 0
+	// queue bounded: true
+	// windows enforced: true
+}
+
+// ExamplePolicy shows per-flow differentiation: β priorities and hard
+// bandwidth caps assigned by the operator in the vSwitch (§3.4).
+func ExamplePolicy() {
+	cfg := core.DefaultConfig()
+	cfg.FlowPolicy = func(k core.FlowKey) core.Policy {
+		p := core.DefaultPolicy()
+		switch k.DPort {
+		case 443: // latency-sensitive service: full priority
+			p.Beta = 1
+		case 9000: // batch tier: aggressive back-off
+			p.Beta = 0.25
+		case 8080: // scavenger: hard cap at 4 segments per RTT
+			p.RwndClampBytes = 4 * 8960
+		}
+		return p
+	}
+	fmt.Println(cfg.FlowPolicy(core.FlowKey{DPort: 9000}).Beta)
+	// Output: 0.25
+}
+
+// ExampleVSwitch_Detach shows turning the module off at runtime — the host
+// reverts to a plain vSwitch with no hooks installed.
+func ExampleVSwitch_Detach() {
+	s := sim.New(1)
+	h := netsim.NewHost(s, "h", packet.MakeAddr(10, 0, 0, 1))
+	h.NIC = netsim.NewLink(s, "nic", 10e9, sim.Microsecond,
+		netsim.HandlerFunc(func(*packet.Packet) {}))
+	v := core.Attach(s, h, core.DefaultConfig())
+	fmt.Println("attached:", h.Egress != nil)
+	v.Detach()
+	fmt.Println("attached:", h.Egress != nil)
+	// Output:
+	// attached: true
+	// attached: false
+}

@@ -1,0 +1,146 @@
+// Package core implements AC/DC TCP, the paper's contribution: per-flow
+// congestion control enforced in the vSwitch. The sender module shadows each
+// flow's TCP state, runs an administrator-chosen virtual congestion-control
+// algorithm (DCTCP by default), and enforces the resulting window by
+// overwriting the receive-window field of ACKs headed to the guest. The
+// receiver module counts CE-marked bytes and feeds them back in a PACK
+// option piggybacked on ACKs (or a dedicated FACK packet), stripping all ECN
+// signals before they reach the guest.
+package core
+
+import (
+	"sync"
+
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+)
+
+// FlowKey identifies a flow by the 5-tuple of its *data* direction (the
+// paper hashes on IPs, ports and VLAN; we have no VLANs).
+type FlowKey struct {
+	Src, Dst     packet.Addr
+	SPort, DPort uint16
+}
+
+// Reverse returns the key of the opposite data direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Src: k.Dst, Dst: k.Src, SPort: k.DPort, DPort: k.SPort}
+}
+
+// Policy is the per-flow differentiation knob set (§3.4).
+type Policy struct {
+	// Beta is the priority in Equation 1, rwnd ← rwnd·(1 − (α − α·β/2)).
+	// 1 = plain DCTCP; 0 = maximum back-off (bounded below by one MSS).
+	Beta float64
+	// RwndClampBytes caps the enforced window (bandwidth allocation, Fig 6);
+	// 0 = no cap.
+	RwndClampBytes int64
+	// VCC overrides the virtual congestion-control algorithm for this flow
+	// ("" = the vSwitch default).
+	VCC string
+	// Disable exempts the flow from enforcement entirely.
+	Disable bool
+}
+
+// DefaultPolicy is plain DCTCP enforcement.
+func DefaultPolicy() Policy { return Policy{Beta: 1} }
+
+// Flow is one direction's connection-tracking entry (~the paper's 320-byte
+// flow state). The same struct serves as sender-module state on the host
+// that sources the data and receiver-module state on the host that sinks it.
+type Flow struct {
+	mu  sync.Mutex
+	Key FlowKey
+
+	Policy Policy
+	vcc    VirtualCC
+
+	// --- handshake-learned ---
+	// PeerWScale is the window scale applied to the RWND field of ACKs
+	// flowing back to the data sender (announced by the data receiver).
+	PeerWScale  uint8
+	WScaleKnown bool
+	// GuestECN records whether the guests negotiated ECN end to end; the
+	// receiver module uses it to restore the original ECN semantics.
+	GuestECN            bool
+	synSeen, synAckSeen bool
+	MSS                 int
+
+	// --- sender module: connection tracking (§3.1) ---
+	iss           uint32
+	issValid      bool
+	SndUna        int64 // absolute offsets, SYN at 0
+	SndNxt        int64
+	DupAcks       int
+	CwndBytes     float64
+	SsthreshBytes float64
+	Alpha         float64
+	// feedback accounting between α updates
+	lastTotal, lastMarked     uint32
+	windowTotal, windowMarked uint32
+	alphaSeq                  int64   // next α-update boundary (abs)
+	cutSeq                    int64   // window-cut guard (abs)
+	prevCwndBytes             float64 // cwnd before last cut (policing slack)
+	maxInflight               int64   // peak SndNxt−SndUna since the last ACK
+	inactivity                *sim.Timer
+	lastAckWire               uint32 // last ACK's seq field (dupack synthesis)
+	VTimeouts                 int64
+	LossEvents                int64
+
+	// --- receiver module (§3.2) ---
+	TotalBytes  uint32 // cumulative payload bytes received
+	MarkedBytes uint32 // cumulative CE-marked payload bytes
+
+	// --- UDP tunnel (future-work extension; see tunnel.go) ---
+	isUDP       bool
+	tq          []*packet.Packet // sender-side tunnel queue
+	tqBytes     int
+	fbLastTotal uint32 // receiver side: TotalBytes at last feedback
+	fbLastCE    bool
+
+	// --- lifecycle ---
+	lastActive sim.Time
+	finFwd     bool // FIN seen in the data direction
+	finRev     bool // FIN seen in the reverse direction
+}
+
+// Snapshot is a consistent copy of the enforcement-relevant state, used by
+// instrumentation (Figures 9 and 10).
+type Snapshot struct {
+	CwndBytes   float64
+	Alpha       float64
+	SndUna      int64
+	SndNxt      int64
+	TotalBytes  uint32
+	MarkedBytes uint32
+}
+
+// Snapshot returns a locked copy of the flow's key state.
+func (f *Flow) Snapshot() Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Snapshot{
+		CwndBytes: f.CwndBytes, Alpha: f.Alpha,
+		SndUna: f.SndUna, SndNxt: f.SndNxt,
+		TotalBytes: f.TotalBytes, MarkedBytes: f.MarkedBytes,
+	}
+}
+
+// absSeq maps a wire sequence number near ref into absolute offset space.
+func (f *Flow) absSeq(wire uint32, ref int64) int64 {
+	delta := int64(int32(wire - (f.iss + uint32(ref))))
+	return ref + delta
+}
+
+// enforcedWindow applies the floor and per-flow clamp to the virtual cwnd
+// and returns the window to advertise, in bytes.
+func (f *Flow) enforcedWindow(minRwnd int64) int64 {
+	w := int64(f.CwndBytes)
+	if f.Policy.RwndClampBytes > 0 && w > f.Policy.RwndClampBytes {
+		w = f.Policy.RwndClampBytes
+	}
+	if w < minRwnd {
+		w = minRwnd
+	}
+	return w
+}

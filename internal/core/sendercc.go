@@ -1,0 +1,238 @@
+package core
+
+import (
+	"acdc/internal/packet"
+)
+
+// processFeedbackAndAck is the sender module's per-ACK work (Figure 5):
+// extract CC info, update connection tracking, update α once per RTT, react
+// to congestion/loss at most once per window, otherwise grow, then enforce
+// the resulting window by rewriting RWND.
+func (v *VSwitch) processFeedbackAndAck(f *Flow, p *packet.Packet, t packet.TCP, info packet.PACKInfo, haveFeedback bool) {
+	enforced, overwrote, ok := v.processAckLocked(f, p, t, info, haveFeedback)
+	// The observation hook runs outside the flow lock so it may call
+	// Snapshot or walk the table.
+	if ok && v.OnRwndComputed != nil {
+		v.OnRwndComputed(f, enforced, overwrote)
+	}
+}
+
+func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info packet.PACKInfo, haveFeedback bool) (enforcedOut int64, overwroteOut, okOut bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lastActive = v.Sim.Now()
+	if !f.issValid {
+		// We never saw our guest send on this flow; nothing to enforce yet.
+		return 0, false, false
+	}
+
+	// Feedback deltas (cumulative counters; uint32 wraparound-safe).
+	var totalDelta, markedDelta uint32
+	if haveFeedback {
+		totalDelta = info.TotalBytes - f.lastTotal
+		markedDelta = info.MarkedBytes - f.lastMarked
+		f.lastTotal = info.TotalBytes
+		f.lastMarked = info.MarkedBytes
+		f.windowTotal += totalDelta
+		f.windowMarked += markedDelta
+	}
+
+	absAck := f.absSeq(t.Ack(), f.SndUna)
+	if absAck > f.SndNxt {
+		absAck = f.SndNxt
+	}
+	acked := absAck - f.SndUna
+
+	loss := false
+	switch {
+	case acked > 0:
+		f.SndUna = absAck
+		f.DupAcks = 0
+		if f.inactivity != nil {
+			if f.SndUna < f.SndNxt {
+				f.inactivity.Reset(v.Cfg.VTimeout)
+			} else {
+				f.inactivity.Stop()
+			}
+		}
+	case acked == 0 && p.PayloadLen() == 0 && f.SndNxt > f.SndUna:
+		f.DupAcks++
+		if f.DupAcks == 3 {
+			loss = true
+			f.LossEvents++
+		}
+	}
+	f.lastAckWire = t.Seq()
+
+	// α update, roughly once per RTT (when the ACK passes the snapshot of
+	// snd_nxt taken at the previous update).
+	if absAck >= f.alphaSeq {
+		var frac float64
+		if f.windowTotal > 0 {
+			frac = float64(f.windowMarked) / float64(f.windowTotal)
+		}
+		f.Alpha = (1-v.Cfg.G)*f.Alpha + v.Cfg.G*frac
+		f.windowTotal, f.windowMarked = 0, 0
+		f.alphaSeq = f.SndNxt
+	}
+
+	// Cwnd validation: grow only while the flow actually uses the window
+	// (otherwise an uncongested or guest-limited flow would inflate the
+	// virtual window arbitrarily, defeating both tracking and policing) and
+	// is not overshooting it (right after a cut the guest still has the old
+	// window in flight; crediting that as growth would lift the equilibrium
+	// above the window the algorithm chose). The peak inflight since the
+	// previous ACK is the right gauge — the instantaneous value is zero
+	// whenever a delayed ACK covers everything outstanding.
+	// The overshoot gate only makes sense while enforcement is on: in
+	// observation mode (Figure 9) the guest is not bound by the virtual
+	// window, and tracking requires growth to follow the guest upward.
+	cwndLimited := float64(f.maxInflight) >= f.CwndBytes-float64(f.MSS)
+	if v.Cfg.EnforceRwnd {
+		cwndLimited = cwndLimited && float64(f.maxInflight) <= f.CwndBytes+float64(f.MSS)
+	}
+	f.maxInflight = f.SndNxt - f.SndUna
+
+	congested := markedDelta > 0
+	switch {
+	case loss:
+		// Figure 5: Loss? yes → α = max_alpha, then cut.
+		f.Alpha = v.Cfg.MaxAlpha
+		v.cutWindow(f, absAck, true)
+	case congested:
+		v.cutWindow(f, absAck, false)
+		if acked > 0 && cwndLimited {
+			// DCTCP still grows between cuts within the window guard.
+			f.vcc.OnAck(f, acked)
+		}
+	case acked > 0 && cwndLimited:
+		f.vcc.OnAck(f, acked)
+	}
+	v.clampFlow(f)
+
+	// --- enforcement (§3.3) ---
+	enforced := f.enforcedWindow(v.minRwnd(f))
+	overwrote := false
+	if v.Cfg.EnforceRwnd {
+		field := enforced >> f.PeerWScale
+		if field == 0 {
+			field = 1
+		}
+		if field > 65535 {
+			field = 65535
+		}
+		if uint16(field) < t.Window() {
+			t.SetWindow(uint16(field))
+			overwrote = true
+			v.Stats.RwndRewrites++
+		} else {
+			v.Stats.RwndUnchanged++
+		}
+	}
+	return enforced, overwrote, true
+}
+
+// cutWindow applies the multiplicative decrease at most once per window
+// (Figure 5's "cut wnd in this window before?" guard).
+func (v *VSwitch) cutWindow(f *Flow, absAck int64, loss bool) {
+	if absAck < f.cutSeq && !v.Cfg.CutEveryAck {
+		return // already cut in this window
+	}
+	f.prevCwndBytes = f.CwndBytes
+	f.CwndBytes *= f.vcc.CutFactor(f, loss)
+	f.SsthreshBytes = f.CwndBytes
+	f.cutSeq = f.SndNxt
+	v.clampFlow(f)
+}
+
+// clampFlow floors the virtual window (β=0 flows are bounded by one MSS to
+// avoid starvation; the default floor is also one MSS unless configured) and
+// caps it at the largest value the RWND field can express under the peer's
+// window scale — anything above that is unenforceable anyway.
+func (v *VSwitch) clampFlow(f *Flow) {
+	minW := float64(v.minRwnd(f))
+	if f.CwndBytes < minW {
+		f.CwndBytes = minW
+	}
+	if f.WScaleKnown {
+		if maxW := float64(int64(65535) << f.PeerWScale); f.CwndBytes > maxW {
+			f.CwndBytes = maxW
+		}
+	}
+	// Unlike host stacks (2-packet floors), the virtual window is byte-
+	// granular: ssthresh only needs to stay positive. This is what lets
+	// AC/DC undercut host DCTCP's queue in deep incast (§5.2).
+	if f.SsthreshBytes < float64(f.MSS) {
+		f.SsthreshBytes = float64(f.MSS)
+	}
+}
+
+// onVTimeout fires when a flow's inactivity timer expires with data
+// outstanding: infer a guest timeout (§3.1), collapse the virtual window,
+// and optionally synthesize duplicate ACKs so a guest with a long RTO
+// retransmits promptly (§3.3).
+func (v *VSwitch) onVTimeout(f *Flow) {
+	f.mu.Lock()
+	if f.SndUna >= f.SndNxt {
+		f.mu.Unlock()
+		return
+	}
+	v.Stats.VTimeouts++
+	f.VTimeouts++
+	f.Alpha = v.Cfg.MaxAlpha
+	f.vcc.OnTimeout(f)
+	v.clampFlow(f)
+	f.cutSeq = f.SndNxt
+	genDup := v.Cfg.GenDupAcks && f.issValid
+	var dup *packet.Packet
+	if genDup {
+		dup = v.buildDupAckLocked(f)
+	}
+	f.inactivity.Reset(v.Cfg.VTimeout)
+	f.mu.Unlock()
+
+	if dup != nil {
+		for i := 0; i < 3; i++ {
+			v.Stats.DupAcksGenerated++
+			v.Host.DeliverLocal(dup.Clone())
+		}
+	}
+}
+
+// buildDupAckLocked crafts a duplicate ACK toward the guest for the flow's
+// current snd_una, using header fields remembered from the last real ACK.
+// Caller holds f.mu.
+func (v *VSwitch) buildDupAckLocked(f *Flow) *packet.Packet {
+	enforced := f.enforcedWindow(v.minRwnd(f))
+	field := enforced >> f.PeerWScale
+	if field == 0 {
+		field = 1
+	}
+	if field > 65535 {
+		field = 65535
+	}
+	return packet.Build(f.Key.Dst, f.Key.Src, packet.NotECT, packet.TCPFields{
+		SrcPort: f.Key.DPort, DstPort: f.Key.SPort,
+		Seq: f.lastAckWire, Ack: f.iss + uint32(f.SndUna),
+		Flags: packet.FlagACK, Window: uint16(field),
+	}, 0)
+}
+
+// SendWindowUpdate synthesizes a TCP window-update ACK toward the local
+// guest reflecting the flow's current enforced window (§3.3: "ACEDC can
+// create these packets to update windows without relying on ACKs").
+func (v *VSwitch) SendWindowUpdate(k FlowKey) bool {
+	f := v.Table.Get(k)
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	if !f.issValid {
+		f.mu.Unlock()
+		return false
+	}
+	upd := v.buildDupAckLocked(f)
+	f.mu.Unlock()
+	v.Host.DeliverLocal(upd)
+	return true
+}

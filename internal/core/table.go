@@ -1,0 +1,120 @@
+package core
+
+import "sync"
+
+// numShards for the flow table. The paper uses an RCU hash table because
+// lookups vastly outnumber insertions; sharded RW-mutexes give the same
+// read-mostly scaling in Go without unsafe tricks, and per-flow spinlocks
+// become the per-Flow mutex.
+const numShards = 64
+
+type tableShard struct {
+	mu    sync.RWMutex
+	flows map[FlowKey]*Flow
+}
+
+// Table is the vSwitch's connection-tracking table: one entry per data
+// direction, two per TCP connection.
+type Table struct {
+	shards [numShards]tableShard
+}
+
+// NewTable creates an empty flow table.
+func NewTable() *Table {
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].flows = make(map[FlowKey]*Flow)
+	}
+	return t
+}
+
+func (t *Table) shard(k FlowKey) *tableShard {
+	// FNV-1a over the tuple, mixed down to a shard index.
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(k.Src))
+	mix(uint64(k.Dst))
+	mix(uint64(k.SPort)<<16 | uint64(k.DPort))
+	return &t.shards[h%numShards]
+}
+
+// Get returns the flow for k, or nil.
+func (t *Table) Get(k FlowKey) *Flow {
+	s := t.shard(k)
+	s.mu.RLock()
+	f := s.flows[k]
+	s.mu.RUnlock()
+	return f
+}
+
+// GetOrCreate returns the flow for k, creating it with init if absent.
+// created reports whether init ran.
+func (t *Table) GetOrCreate(k FlowKey, init func() *Flow) (f *Flow, created bool) {
+	s := t.shard(k)
+	s.mu.RLock()
+	f = s.flows[k]
+	s.mu.RUnlock()
+	if f != nil {
+		return f, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f = s.flows[k]; f != nil {
+		return f, false
+	}
+	f = init()
+	s.flows[k] = f
+	return f, true
+}
+
+// Delete removes the flow for k.
+func (t *Table) Delete(k FlowKey) {
+	s := t.shard(k)
+	s.mu.Lock()
+	delete(s.flows, k)
+	s.mu.Unlock()
+}
+
+// Len counts entries across all shards.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+		n += len(t.shards[i].flows)
+		t.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for every flow; fn must not mutate the table. Iteration
+// holds one shard read-lock at a time.
+func (t *Table) Range(fn func(*Flow)) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for _, f := range s.flows {
+			fn(f)
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// Sweep removes flows failing keep and returns how many were removed.
+func (t *Table) Sweep(keep func(*Flow) bool) int {
+	removed := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for k, f := range s.flows {
+			if !keep(f) {
+				delete(s.flows, k)
+				removed++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return removed
+}

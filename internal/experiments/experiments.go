@@ -1,0 +1,253 @@
+// Package experiments is the reproduction harness: one Experiment per table
+// or figure in the paper's evaluation (§5). Each experiment builds its
+// topology, drives the paper's workload, and reports the same rows/series
+// the paper plots, alongside the paper's published expectation so the two
+// can be compared. Absolute numbers differ (our substrate is a simulator,
+// not the authors' 10GbE testbed); the reproduced artifact is the *shape* —
+// who wins, by roughly what factor, and where crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"acdc/internal/core"
+	"acdc/internal/netsim"
+	"acdc/internal/sim"
+	"acdc/internal/stats"
+	"acdc/internal/tcpstack"
+	"acdc/internal/topo"
+	"acdc/internal/workload"
+)
+
+// RunConfig adjusts experiment scale.
+type RunConfig struct {
+	// Long runs closer-to-paper durations (~10× the quick defaults).
+	Long bool
+	// Seed seeds all randomness.
+	Seed int64
+}
+
+func (c RunConfig) seed() int64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// scale stretches a base duration in Long mode.
+func (c RunConfig) scale(d sim.Duration) sim.Duration {
+	if c.Long {
+		return d * 10
+	}
+	return d
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID    string
+	Title string
+	// Paper summarizes what the paper reports for this artifact.
+	Paper string
+	// Sections are formatted text blocks (tables, CDF summaries).
+	Sections []string
+	// Metrics are headline numbers, used by tests and EXPERIMENTS.md.
+	Metrics map[string]float64
+}
+
+func newResult(id, title, paper string) *Result {
+	return &Result{ID: id, Title: title, Paper: paper, Metrics: map[string]float64{}}
+}
+
+func (r *Result) section(format string, args ...any) {
+	r.Sections = append(r.Sections, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) table(t *stats.Table) { r.Sections = append(r.Sections, t.String()) }
+
+// String renders the full report.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "paper: %s\n\n", r.Paper)
+	for _, s := range r.Sections {
+		b.WriteString(s)
+		if !strings.HasSuffix(s, "\n") {
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("metrics:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-40s %g\n", k, r.Metrics[k])
+		}
+	}
+	return b.String()
+}
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg RunConfig) *Result
+}
+
+// Registry lists every experiment in paper order.
+var Registry = []Experiment{
+	{"fig1", "Different congestion controls lead to unfairness", Fig1},
+	{"fig2", "CUBIC fills buffers; DCTCP keeps RTT low", Fig2},
+	{"fig6", "Bounding RWND is equivalent to bounding CWND", Fig6},
+	{"fig8", "Dumbbell: AC/DC matches DCTCP throughput and RTT", Fig8},
+	{"parkinglot", "Parking lot: multi-bottleneck tput/fairness/RTT", ParkingLot},
+	{"fig9", "AC/DC's computed RWND tracks DCTCP's CWND", Fig9},
+	{"fig10", "AC/DC's RWND is the limiting window over CUBIC", Fig10},
+	{"fig13", "QoS: β-based differentiated throughput", Fig13},
+	{"fig14", "Convergence: flows join/leave every interval", Fig14},
+	{"fig15", "ECN coexistence: CUBIC vs DCTCP on one fabric", Fig15},
+	{"fig17", "Five different stacks made fair by AC/DC", Fig17},
+	{"fig18", "Incast: throughput, fairness, RTT, drops", Fig18},
+	{"fig20", "All ports congested: RTT through the hot port", Fig20},
+	{"fig21", "Concurrent stride FCTs", Fig21},
+	{"fig22", "Shuffle FCTs", Fig22},
+	{"fig23", "Trace-driven (web-search, data-mining) mice FCTs", Fig23},
+	{"table1", "AC/DC under many host congestion controls", Table1},
+}
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment {
+	for i := range Registry {
+		if Registry[i].ID == id {
+			return &Registry[i]
+		}
+	}
+	return nil
+}
+
+// --- schemes ---
+
+// Scheme is one of the paper's three configurations (§5 "Experiment
+// details"): CUBIC (baseline, WRED off), DCTCP (native, WRED on), and AC/DC
+// (CUBIC guests + vSwitch DCTCP, WRED on).
+type Scheme struct {
+	Name  string
+	Guest tcpstack.Config
+	ACDC  *core.Config
+	RED   netsim.REDConfig
+}
+
+func guestCfg(mtu int, cc string, ecn tcpstack.ECNMode) tcpstack.Config {
+	g := tcpstack.DefaultConfig()
+	g.MTU = mtu
+	g.CC = cc
+	g.ECN = ecn
+	return g
+}
+
+// SchemeCUBIC is the paper's baseline: CUBIC guests, standard vSwitch,
+// switch WRED/ECN off (drop-tail into the shared buffer).
+func SchemeCUBIC(mtu int) Scheme {
+	return Scheme{Name: "CUBIC", Guest: guestCfg(mtu, "cubic", tcpstack.ECNOff)}
+}
+
+// SchemeDCTCP is the target: DCTCP guests, standard vSwitch, WRED/ECN on.
+func SchemeDCTCP(mtu int) Scheme {
+	return Scheme{
+		Name:  "DCTCP",
+		Guest: guestCfg(mtu, "dctcp", tcpstack.ECNDCTCP),
+		RED:   netsim.REDConfig{MarkThresholdBytes: topo.DefaultMarkThreshold},
+	}
+}
+
+// SchemeACDC is the contribution: guests run hostCC (CUBIC unless stated),
+// AC/DC runs DCTCP in the vSwitch, WRED/ECN on.
+func SchemeACDC(mtu int, hostCC string, hostECN tcpstack.ECNMode) Scheme {
+	ac := core.DefaultConfig()
+	ac.MTU = mtu
+	return Scheme{
+		Name:  "AC/DC",
+		Guest: guestCfg(mtu, hostCC, hostECN),
+		ACDC:  &ac,
+		RED:   netsim.REDConfig{MarkThresholdBytes: topo.DefaultMarkThreshold},
+	}
+}
+
+// ThreeSchemes returns the standard comparison set at the given MTU.
+func ThreeSchemes(mtu int) []Scheme {
+	return []Scheme{SchemeCUBIC(mtu), SchemeDCTCP(mtu), SchemeACDC(mtu, "cubic", tcpstack.ECNOff)}
+}
+
+func (s Scheme) options(seed int64) topo.Options {
+	return topo.Options{Guest: s.Guest, ACDC: s.ACDC, RED: s.RED, Seed: seed}
+}
+
+// --- shared measurement helpers ---
+
+// dumbbellFlows starts one bulk flow per sender pair on a dumbbell Net and
+// returns the messengers.
+func dumbbellFlows(net *topo.Net, pairs int) (*workload.Manager, []*workload.Messenger) {
+	m := workload.NewManager(net)
+	flows := make([]*workload.Messenger, pairs)
+	for i := 0; i < pairs; i++ {
+		flows[i] = workload.Bulk(m, i, pairs+i)
+	}
+	return m, flows
+}
+
+// flowRates converts delivered bytes into per-flow Gbps over a window.
+func flowRates(flows []*workload.Messenger, startBytes []int64, window sim.Duration) []float64 {
+	out := make([]float64, len(flows))
+	for i, f := range flows {
+		out[i] = float64(f.Delivered()-startBytes[i]) * 8 / window.Seconds() / 1e9
+	}
+	return out
+}
+
+func snapshotDelivered(flows []*workload.Messenger) []int64 {
+	out := make([]int64, len(flows))
+	for i, f := range flows {
+		out[i] = f.Delivered()
+	}
+	return out
+}
+
+func gbps(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%.2f", x)
+	}
+	return out
+}
+
+// rttSummary formats an RTT sample in the paper's units (ms percentiles).
+func rttSummary(s *stats.Sample) string {
+	return fmt.Sprintf("p50=%.3fms p95=%.3fms p99=%.3fms p99.9=%.3fms",
+		s.Percentile(50)/1e6, s.Percentile(95)/1e6, s.Percentile(99)/1e6, s.Percentile(99.9)/1e6)
+}
+
+// cdfBlock renders a compact CDF (value unit transformed by div) for dumping.
+func cdfBlock(name string, s *stats.Sample, div float64, unit string, points int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s CDF (n=%d):\n", name, s.N())
+	for _, p := range s.CDF(points) {
+		fmt.Fprintf(&b, "  %10.3f%s  F=%.3f\n", p[0]/div, unit, p[1])
+	}
+	return b.String()
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}

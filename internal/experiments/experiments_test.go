@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests assert the *shape* of each reproduced artifact: who wins, by
+// roughly what factor, and where the qualitative crossovers fall. They run
+// the quick (non -long) configurations.
+
+func run(t *testing.T, id string) *Result {
+	t.Helper()
+	e := ByID(id)
+	if e == nil {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	r := e.Run(RunConfig{Seed: 1})
+	t.Logf("\n%s", r.String())
+	return r
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig6", "fig8", "parkinglot", "fig9", "fig10",
+		"fig13", "fig14", "fig15", "fig17", "fig18", "fig20", "fig21", "fig22",
+		"fig23", "table1"}
+	for _, id := range want {
+		if ByID(id) == nil {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+	if ByID("nope") != nil {
+		t.Error("ByID returned something for an unknown id")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := newResult("x", "tit", "pap")
+	r.section("hello %d", 7)
+	r.Metrics["m"] = 1.5
+	s := r.String()
+	for _, want := range []string{"=== x: tit ===", "paper: pap", "hello 7", "m"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig1")
+	// Heterogeneous stacks must be markedly less fair than all-CUBIC.
+	if r.Metrics["mixed_fairness"] >= r.Metrics["cubic_fairness"]-0.05 {
+		t.Errorf("mixed fairness %.3f not below all-CUBIC %.3f",
+			r.Metrics["mixed_fairness"], r.Metrics["cubic_fairness"])
+	}
+	// Aggressive HighSpeed beats delay-based Vegas by a wide margin.
+	if r.Metrics["highspeed_mean_gbps"] < 3*r.Metrics["vegas_mean_gbps"] {
+		t.Errorf("highspeed %.2f not ≫ vegas %.2f",
+			r.Metrics["highspeed_mean_gbps"], r.Metrics["vegas_mean_gbps"])
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig2")
+	// Both rate-limited and unlimited CUBIC must dwarf DCTCP's RTT.
+	for _, k := range []string{"CUBIC_RL_p50_ms", "CUBIC_p50_ms"} {
+		if r.Metrics[k] < 5*r.Metrics["DCTCP_p50_ms"] {
+			t.Errorf("%s %.3fms not ≫ DCTCP %.3fms", k, r.Metrics[k], r.Metrics["DCTCP_p50_ms"])
+		}
+	}
+	if r.Metrics["DCTCP_p50_ms"] > 1 {
+		t.Errorf("DCTCP p50 %.3fms should be sub-millisecond", r.Metrics["DCTCP_p50_ms"])
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig6")
+	// The CWND-bound and RWND-bound curves must coincide within 15%.
+	for _, k := range []string{"max_rel_diff_mtu1500", "max_rel_diff_mtu9000"} {
+		if r.Metrics[k] > 0.15 {
+			t.Errorf("%s = %.3f, want ≤ 0.15", k, r.Metrics[k])
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig8")
+	// Equal throughput across schemes (±10%).
+	for _, k := range []string{"cubic_avg_gbps", "dctcp_avg_gbps", "acdc_avg_gbps"} {
+		if r.Metrics[k] < 1.7 || r.Metrics[k] > 2.1 {
+			t.Errorf("%s = %.2f, want ≈ 1.98", k, r.Metrics[k])
+		}
+	}
+	// AC/DC tracks DCTCP's RTT (within 3x either way) and both beat CUBIC
+	// by at least 5x at the median.
+	a, d, c := r.Metrics["acdc_rtt_p50_ms"], r.Metrics["dctcp_rtt_p50_ms"], r.Metrics["cubic_rtt_p50_ms"]
+	if a > 3*d || d > 3*a {
+		t.Errorf("AC/DC p50 %.3f vs DCTCP %.3f diverge", a, d)
+	}
+	if c < 5*d {
+		t.Errorf("CUBIC p50 %.3f not ≫ DCTCP %.3f", c, d)
+	}
+	if r.Metrics["acdc_fairness"] < 0.95 {
+		t.Errorf("AC/DC fairness %.3f", r.Metrics["acdc_fairness"])
+	}
+}
+
+func TestParkingLotShape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "parkinglot")
+	if r.Metrics["acdc_fairness"] < 0.95 || r.Metrics["dctcp_fairness"] < 0.9 {
+		t.Errorf("fairness: acdc %.3f dctcp %.3f", r.Metrics["acdc_fairness"], r.Metrics["dctcp_fairness"])
+	}
+	if r.Metrics["cubic_fairness"] > r.Metrics["acdc_fairness"] {
+		t.Errorf("CUBIC fairness %.3f should trail AC/DC %.3f",
+			r.Metrics["cubic_fairness"], r.Metrics["acdc_fairness"])
+	}
+	if r.Metrics["cubic_rtt_p50_ms"] < 3*r.Metrics["acdc_rtt_p50_ms"] {
+		t.Errorf("CUBIC RTT %.3f not ≫ AC/DC %.3f",
+			r.Metrics["cubic_rtt_p50_ms"], r.Metrics["acdc_rtt_p50_ms"])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig9")
+	if r.Metrics["samples"] < 1000 {
+		t.Fatalf("only %v tracking samples", r.Metrics["samples"])
+	}
+	// Median tracking error within 10%, p90 within 25%.
+	if r.Metrics["tracking_rel_err_p50"] > 0.10 {
+		t.Errorf("median tracking error %.3f", r.Metrics["tracking_rel_err_p50"])
+	}
+	if r.Metrics["tracking_rel_err_p90"] > 0.25 {
+		t.Errorf("p90 tracking error %.3f", r.Metrics["tracking_rel_err_p90"])
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig10")
+	if r.Metrics["frac_rwnd_limiting"] < 0.95 {
+		t.Errorf("RWND limiting only %.3f of the time", r.Metrics["frac_rwnd_limiting"])
+	}
+	if r.Metrics["frac_overwritten"] < 0.95 {
+		t.Errorf("RWND overwritten only %.3f of ACKs", r.Metrics["frac_overwritten"])
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig13")
+	if r.Metrics["combos_monotonic"] < r.Metrics["combos_total"]-1 {
+		t.Errorf("β ordering held in only %v/%v combos",
+			r.Metrics["combos_monotonic"], r.Metrics["combos_total"])
+	}
+	// In [4,4,4,0,0]/4 the β=1 flows must clearly beat the β=0 flows.
+	if r.Metrics["combo5_f1_gbps"] < 1.2*r.Metrics["combo5_f5_gbps"] {
+		t.Errorf("β=1 flow %.2f not above β=0 flow %.2f",
+			r.Metrics["combo5_f1_gbps"], r.Metrics["combo5_f5_gbps"])
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig14")
+	if r.Metrics["dctcp_fairness_5flows"] < 0.95 || r.Metrics["acdc_fairness_5flows"] < 0.95 {
+		t.Errorf("convergence fairness: dctcp %.3f acdc %.3f",
+			r.Metrics["dctcp_fairness_5flows"], r.Metrics["acdc_fairness_5flows"])
+	}
+	if r.Metrics["cubic_fairness_5flows"] > r.Metrics["acdc_fairness_5flows"]-0.05 {
+		t.Errorf("CUBIC fairness %.3f should clearly trail AC/DC %.3f",
+			r.Metrics["cubic_fairness_5flows"], r.Metrics["acdc_fairness_5flows"])
+	}
+	if r.Metrics["cubic_droprate"] <= 0 {
+		t.Error("CUBIC should drop during convergence")
+	}
+	if r.Metrics["acdc_droprate"] != 0 || r.Metrics["dctcp_droprate"] != 0 {
+		t.Error("DCTCP/AC-DC should not drop during convergence")
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig15")
+	// Native: ECN-incapable CUBIC starves against DCTCP.
+	if r.Metrics["native_cubic_gbps"] > 0.2*r.Metrics["native_dctcp_gbps"] {
+		t.Errorf("native CUBIC %.2f should starve vs DCTCP %.2f",
+			r.Metrics["native_cubic_gbps"], r.Metrics["native_dctcp_gbps"])
+	}
+	if r.Metrics["native_droprate"] <= 0 {
+		t.Error("native coexistence should drop Not-ECT packets")
+	}
+	// AC/DC: near-equal shares, no drops.
+	ratio := r.Metrics["acdc_cubic_gbps"] / r.Metrics["acdc_dctcp_gbps"]
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("AC/DC share ratio %.2f, want ≈1", ratio)
+	}
+	if r.Metrics["acdc_droprate"] != 0 {
+		t.Error("AC/DC coexistence should not drop")
+	}
+	if r.Metrics["acdc_cubic_rtt_p99_ms"] > r.Metrics["native_cubic_rtt_p99_ms"] {
+		t.Error("AC/DC should reduce the CUBIC flow's tail RTT")
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig17")
+	if r.Metrics["acdc_mixed_fairness"] < 0.97 {
+		t.Errorf("AC/DC mixed-stack fairness %.3f, want ≈0.99", r.Metrics["acdc_mixed_fairness"])
+	}
+	if r.Metrics["dctcp_fairness"] < 0.97 {
+		t.Errorf("all-DCTCP fairness %.3f", r.Metrics["dctcp_fairness"])
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig18")
+	// Comparable throughput at 47 senders.
+	for _, k := range []string{"cubic_47_avg_mbps", "dctcp_47_avg_mbps", "acdc_47_avg_mbps"} {
+		if r.Metrics[k] < 150 || r.Metrics[k] > 260 {
+			t.Errorf("%s = %.0f, want ≈ 210", k, r.Metrics[k])
+		}
+	}
+	// DCTCP and AC/DC slash median RTT vs CUBIC (paper: −82% / −97%).
+	c47 := r.Metrics["cubic_47_rtt_p50_ms"]
+	if r.Metrics["dctcp_47_rtt_p50_ms"] > 0.4*c47 || r.Metrics["acdc_47_rtt_p50_ms"] > 0.4*c47 {
+		t.Errorf("incast RTT: cubic %.2f dctcp %.2f acdc %.2f",
+			c47, r.Metrics["dctcp_47_rtt_p50_ms"], r.Metrics["acdc_47_rtt_p50_ms"])
+	}
+	// DCTCP's RTT grows with fan-in (the 2-packet floor effect).
+	if r.Metrics["dctcp_47_rtt_p50_ms"] < r.Metrics["dctcp_16_rtt_p50_ms"] {
+		t.Error("DCTCP incast RTT should grow with sender count")
+	}
+	// Zero drops for the ECN schemes; CUBIC drops.
+	if r.Metrics["dctcp_47_droprate"] != 0 || r.Metrics["acdc_47_droprate"] != 0 {
+		t.Error("ECN schemes dropped in incast")
+	}
+	if r.Metrics["cubic_47_droprate"] <= 0 {
+		t.Error("CUBIC should drop in incast")
+	}
+	if r.Metrics["acdc_47_fairness"] < 0.95 {
+		t.Errorf("AC/DC incast fairness %.3f", r.Metrics["acdc_47_fairness"])
+	}
+}
+
+func TestFig20Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig20")
+	// Tail RTT through the hot port: CUBIC ≫ DCTCP ≈ AC/DC.
+	if r.Metrics["cubic_rtt_p999_ms"] < 5*r.Metrics["acdc_rtt_p999_ms"] {
+		t.Errorf("CUBIC p99.9 %.2f not ≫ AC/DC %.2f",
+			r.Metrics["cubic_rtt_p999_ms"], r.Metrics["acdc_rtt_p999_ms"])
+	}
+	if r.Metrics["cubic_droprate"] <= 0 {
+		t.Error("CUBIC should drop on the hot port")
+	}
+	if r.Metrics["dctcp_droprate"] != 0 || r.Metrics["acdc_droprate"] != 0 {
+		t.Error("ECN schemes dropped")
+	}
+}
+
+func macroShape(t *testing.T, r *Result, prefix string) {
+	t.Helper()
+	c, d, a := r.Metrics[prefix+"cubic_mice_p50_ms"], r.Metrics[prefix+"dctcp_mice_p50_ms"], r.Metrics[prefix+"acdc_mice_p50_ms"]
+	if d > 0.6*c || a > 0.6*c {
+		t.Errorf("%smice p50: cubic %.3f dctcp %.3f acdc %.3f — expected ≥40%% reduction",
+			prefix, c, d, a)
+	}
+	// AC/DC within 2x of DCTCP (they should be near-identical).
+	if a > 2*d {
+		t.Errorf("%sAC/DC mice p50 %.3f diverges from DCTCP %.3f", prefix, a, d)
+	}
+}
+
+func TestFig21Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig21")
+	macroShape(t, r, "")
+}
+
+func TestFig22Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig22")
+	// Shuffle mice tails: the ECN schemes avoid CUBIC's loss-driven tail.
+	if r.Metrics["dctcp_mice_p999_ms"] > 0.5*r.Metrics["cubic_mice_p999_ms"] {
+		t.Errorf("shuffle tail: dctcp %.2f vs cubic %.2f",
+			r.Metrics["dctcp_mice_p999_ms"], r.Metrics["cubic_mice_p999_ms"])
+	}
+	if r.Metrics["acdc_mice_p999_ms"] > 0.5*r.Metrics["cubic_mice_p999_ms"] {
+		t.Errorf("shuffle tail: acdc %.2f vs cubic %.2f",
+			r.Metrics["acdc_mice_p999_ms"], r.Metrics["cubic_mice_p999_ms"])
+	}
+}
+
+func TestFig23Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "fig23")
+	macroShape(t, r, "web-search_")
+	macroShape(t, r, "data-mining_")
+}
+
+func TestTable1Shape(t *testing.T) {
+	t.Parallel()
+	r := run(t, "table1")
+	// Every AC/DC host stack must land in DCTCP*'s regime at 9K MTU.
+	base := r.Metrics["dctcps_mtu9000_rtt_p50_us"]
+	for _, cc := range []string{"cubic", "reno", "dctcp", "illinois", "highspeed", "vegas"} {
+		got := r.Metrics[cc+"_mtu9000_rtt_p50_us"]
+		if got > 3*base {
+			t.Errorf("AC/DC+%s p50 RTT %.0fus vs DCTCP* %.0fus", cc, got, base)
+		}
+		if f := r.Metrics[cc+"_mtu9000_fairness"]; f < 0.95 {
+			t.Errorf("AC/DC+%s fairness %.3f", cc, f)
+		}
+		if tp := r.Metrics[cc+"_mtu9000_tput_gbps"]; tp < 1.7 {
+			t.Errorf("AC/DC+%s tput %.2f", cc, tp)
+		}
+	}
+	// And CUBIC* must be an order of magnitude worse on RTT.
+	if r.Metrics["cubics_mtu9000_rtt_p50_us"] < 5*base {
+		t.Errorf("CUBIC* p50 %.0fus not ≫ DCTCP* %.0fus",
+			r.Metrics["cubics_mtu9000_rtt_p50_us"], base)
+	}
+}

@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"fmt"
+
+	"acdc/internal/core"
+	"acdc/internal/sim"
+	"acdc/internal/stats"
+	"acdc/internal/tcpstack"
+	"acdc/internal/topo"
+	"acdc/internal/workload"
+)
+
+// Fig9 reproduces Figure 9: with DCTCP in the guests and AC/DC in
+// observation mode (computing but not enforcing RWND), the vSwitch's
+// calculated window must track the guest's CWND closely.
+func Fig9(cfg RunConfig) *Result {
+	r := newResult("fig9", "AC/DC's computed RWND tracks DCTCP's CWND",
+		"RWND and CWND overlap both instantaneously (first 100 ms) and in 100 ms moving average (1.5KB MTU)")
+	scheme := SchemeDCTCP(1500)
+	ac := core.DefaultConfig()
+	ac.MTU = 1500
+	ac.EnforceRwnd = false // log, don't overwrite (the paper's methodology)
+	ac.StripECN = false    // the guest's own DCTCP loop stays in control
+	ac.MarkECT = false
+	scheme.ACDC = &ac
+	scheme.Name = "DCTCP+log"
+
+	net := topo.Dumbbell(5, scheme.options(cfg.seed()))
+	m := workload.NewManager(net)
+	flows := make([]*workload.Messenger, 5)
+	for i := 0; i < 5; i++ {
+		flows[i] = workload.Bulk(m, i, 5+i)
+	}
+
+	// Track flow s1→r1: vSwitch window samples against guest cwnd.
+	var relErr stats.Sample
+	var series []string
+	cli := flows[0].Cli
+	net.ACDC[0].OnRwndComputed = func(f *core.Flow, rwnd int64, _ bool) {
+		if f.Key.Dst != net.Addr(5) {
+			return
+		}
+		cwndBytes := float64(cli.Cwnd()) * float64(cli.MSS())
+		if cwndBytes <= 0 {
+			return
+		}
+		e := (float64(rwnd) - cwndBytes) / cwndBytes
+		if e < 0 {
+			e = -e
+		}
+		relErr.Add(e)
+		if len(series) < 25 && net.Sim.Now() > 20*sim.Millisecond {
+			series = append(series, fmt.Sprintf("  t=%v rwnd=%d cwnd=%.0f",
+				net.Sim.Now(), rwnd, cwndBytes))
+		}
+	}
+	net.Sim.RunFor(cfg.scale(300 * sim.Millisecond))
+
+	r.section("sampled vSwitch RWND vs guest CWND (flow s1→r1):\n%s", joinLines(series))
+	r.Metrics["tracking_rel_err_p50"] = relErr.Percentile(50)
+	r.Metrics["tracking_rel_err_p90"] = relErr.Percentile(90)
+	r.Metrics["samples"] = float64(relErr.N())
+	return r
+}
+
+func joinLines(ls []string) string {
+	out := ""
+	for _, l := range ls {
+		out += l + "\n"
+	}
+	return out
+}
+
+// Fig10 reproduces Figure 10: with CUBIC guests under full AC/DC
+// enforcement, the vSwitch window is the limiting factor — the computed
+// RWND sits below the guest's CWND nearly always (ECN feedback is hidden
+// from the guest, so its CWND floats high).
+func Fig10(cfg RunConfig) *Result {
+	r := newResult("fig10", "AC/DC's RWND is the limiting window over CUBIC",
+		"AC/DC's RWND < CUBIC's CWND essentially always once the flow leaves slow start")
+	scheme := SchemeACDC(1500, "cubic", tcpstack.ECNOff)
+	net := topo.Dumbbell(5, scheme.options(cfg.seed()))
+	m := workload.NewManager(net)
+	flows := make([]*workload.Messenger, 5)
+	for i := 0; i < 5; i++ {
+		flows[i] = workload.Bulk(m, i, 5+i)
+	}
+	cli := flows[0].Cli
+
+	var limited, total int64
+	var overwrites int64
+	net.ACDC[0].OnRwndComputed = func(f *core.Flow, rwnd int64, over bool) {
+		if f.Key.Dst != net.Addr(5) || net.Sim.Now() < 50*sim.Millisecond {
+			return
+		}
+		total++
+		if float64(rwnd) < cli.Cwnd()*float64(cli.MSS()) {
+			limited++
+		}
+		if over {
+			overwrites++
+		}
+	}
+	net.Sim.RunFor(cfg.scale(300 * sim.Millisecond))
+	if total == 0 {
+		r.section("no samples — flow never left warmup")
+		return r
+	}
+	r.section("samples=%d  rwnd<guest-cwnd: %.1f%%  ACK rwnd overwritten: %.1f%%",
+		total, 100*float64(limited)/float64(total), 100*float64(overwrites)/float64(total))
+	r.Metrics["frac_rwnd_limiting"] = float64(limited) / float64(total)
+	r.Metrics["frac_overwritten"] = float64(overwrites) / float64(total)
+	return r
+}
+
+// fig13Combos are the β assignments (on the paper's 4-point scale) per flow.
+var fig13Combos = [][]float64{
+	{2, 2, 2, 2, 2},
+	{2, 2, 1, 1, 1},
+	{2, 2, 2, 1, 1},
+	{3, 2, 2, 1, 1},
+	{3, 3, 2, 2, 1},
+	{4, 4, 4, 0, 0},
+}
+
+// Fig13 reproduces Figure 13: differentiated throughput via the β-modified
+// DCTCP law (Equation 1). Flows with equal β share equally; higher β earns
+// more bandwidth; β=0 flows are pinned near the one-MSS floor.
+func Fig13(cfg RunConfig) *Result {
+	r := newResult("fig13", "QoS: β-based differentiated throughput",
+		"Equal β ⇒ equal shares; higher β ⇒ more throughput; [4,4,4,0,0]/4 starves the β=0 flows to near zero")
+	warm, measure := cfg.scale(150*sim.Millisecond), cfg.scale(300*sim.Millisecond)
+	t := stats.NewTable("betas(/4)", "F1", "F2", "F3", "F4", "F5")
+	var monotonic = 0.0
+	for ci, combo := range fig13Combos {
+		scheme := SchemeACDC(9000, "cubic", tcpstack.ECNOff)
+		o := scheme.options(cfg.seed() + int64(ci))
+		base := *scheme.ACDC
+		o.ACDCFor = func(host int) *core.Config {
+			c := base
+			if host < 5 {
+				beta := combo[host] / 4
+				c.FlowPolicy = func(core.FlowKey) core.Policy {
+					p := core.DefaultPolicy()
+					p.Beta = beta
+					return p
+				}
+			}
+			return &c
+		}
+		net := topo.Dumbbell(5, o)
+		_, flows := dumbbellFlows(net, 5)
+		net.Sim.RunFor(warm)
+		start := snapshotDelivered(flows)
+		net.Sim.RunFor(measure)
+		rates := flowRates(flows, start, measure)
+		row := []any{fmt.Sprintf("%v", combo)}
+		for _, g := range gbps(rates) {
+			row = append(row, g)
+		}
+		t.Row(row...)
+		// Shape check: β_i > β_j should imply rate_i >= rate_j (tolerantly).
+		ok := true
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				if combo[i] > combo[j] && rates[i] < rates[j]*0.8 {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			monotonic++
+		}
+		r.Metrics[fmt.Sprintf("combo%d_f1_gbps", ci)] = rates[0]
+		r.Metrics[fmt.Sprintf("combo%d_f5_gbps", ci)] = rates[4]
+	}
+	r.table(t)
+	r.Metrics["combos_monotonic"] = monotonic
+	r.Metrics["combos_total"] = float64(len(fig13Combos))
+	return r
+}
+
+// Fig14 reproduces Figure 14: the convergence test. A flow joins the
+// bottleneck every interval until five run, then they leave one by one.
+// DCTCP and AC/DC converge to equal shares at each step; CUBIC struggles.
+func Fig14(cfg RunConfig) *Result {
+	r := newResult("fig14", "Convergence: flows join/leave every interval",
+		"DCTCP and AC/DC step cleanly to fair shares (drop rate 0%); CUBIC converges poorly (drop rate 0.17%)")
+	step := cfg.scale(300 * sim.Millisecond)
+	win := step / 3
+	t := stats.NewTable("scheme", "fairness@5flows", "drop rate", "aggregate Gbps@5flows")
+	for _, scheme := range ThreeSchemes(9000) {
+		net := topo.Dumbbell(5, scheme.options(cfg.seed()))
+		m := workload.NewManager(net)
+		flows := make([]*workload.Messenger, 5)
+		// Staggered joins.
+		for i := 0; i < 5; i++ {
+			i := i
+			net.Sim.Schedule(sim.Duration(i)*step, func() {
+				flows[i] = workload.Bulk(m, i, 5+i)
+			})
+		}
+		// Run the joining phase.
+		net.Sim.RunFor(4 * step)
+		// Measurement window with all 5 active (skip transient).
+		net.Sim.RunFor(step - win)
+		start := snapshotDelivered(flows)
+		net.Sim.RunFor(win)
+		rates := flowRates(flows, start, win)
+		fair := stats.JainFairness(rates)
+		var agg float64
+		for _, x := range rates {
+			agg += x
+		}
+		t.Row(scheme.Name, fair, net.DropRate(), agg)
+		key := schemeKey(scheme.Name)
+		r.Metrics[key+"_fairness_5flows"] = fair
+		r.Metrics[key+"_droprate"] = net.DropRate()
+	}
+	r.table(t)
+	return r
+}
+
+// Fig15 reproduces Figures 15 and 16: ECN coexistence. A CUBIC (no ECN)
+// flow and a DCTCP (ECN) flow share a marking bottleneck. Natively the
+// switch drops the CUBIC flow's Not-ECT packets above the threshold and it
+// starves with huge RTTs; AC/DC marks everything ECN-capable and restores
+// the fair share.
+func Fig15(cfg RunConfig) *Result {
+	r := newResult("fig15", "ECN coexistence: CUBIC vs DCTCP on one fabric",
+		"Fig 15a: CUBIC gets little throughput vs DCTCP (loss 0.18%); Fig 15b: near-equal shares under AC/DC; Fig 16: CUBIC RTT collapses from ~10–100 ms to µs-scale")
+	warm, measure := cfg.scale(100*sim.Millisecond), cfg.scale(300*sim.Millisecond)
+
+	run := func(withACDC bool) (cubicG, dctcpG float64, cubicRTT *stats.Sample, drop float64) {
+		scheme := SchemeDCTCP(9000) // WRED on
+		o := scheme.options(cfg.seed())
+		cubicGuest := guestCfg(9000, "cubic", tcpstack.ECNOff)
+		o.GuestFor = func(h int) *tcpstack.Config {
+			if h == 0 {
+				return &cubicGuest
+			}
+			return nil
+		}
+		if withACDC {
+			ac := core.DefaultConfig()
+			o.ACDC = &ac
+		}
+		net := topo.Star(3, o)
+		m := workload.NewManager(net)
+		fC := workload.Bulk(m, 0, 2) // CUBIC, no ECN
+		fD := workload.Bulk(m, 1, 2) // DCTCP, ECN
+		rtt := &stats.Sample{}
+		fC.Cli.OnRTTSample = func(ns int64) {
+			if net.Sim.Now() >= warm {
+				rtt.Add(float64(ns))
+			}
+		}
+		net.Sim.RunFor(warm)
+		s := snapshotDelivered([]*workload.Messenger{fC, fD})
+		net.Sim.RunFor(measure)
+		rates := flowRates([]*workload.Messenger{fC, fD}, s, measure)
+		return rates[0], rates[1], rtt, net.DropRate()
+	}
+
+	cN, dN, rttN, dropN := run(false)
+	cA, dA, rttA, dropA := run(true)
+	t := stats.NewTable("config", "CUBIC Gbps", "DCTCP Gbps", "CUBIC RTT p50 ms", "CUBIC RTT p99 ms", "drop rate")
+	t.Row("native", cN, dN, rttN.Percentile(50)/1e6, rttN.Percentile(99)/1e6, dropN)
+	t.Row("AC/DC", cA, dA, rttA.Percentile(50)/1e6, rttA.Percentile(99)/1e6, dropA)
+	r.table(t)
+	r.Metrics["native_cubic_gbps"] = cN
+	r.Metrics["native_dctcp_gbps"] = dN
+	r.Metrics["acdc_cubic_gbps"] = cA
+	r.Metrics["acdc_dctcp_gbps"] = dA
+	r.Metrics["native_droprate"] = dropN
+	r.Metrics["acdc_droprate"] = dropA
+	r.Metrics["native_cubic_rtt_p99_ms"] = rttN.Percentile(99) / 1e6
+	r.Metrics["acdc_cubic_rtt_p99_ms"] = rttA.Percentile(99) / 1e6
+	return r
+}
+
+// Fig17 reproduces Figure 17: the Figure 1 stack zoo, but now under AC/DC —
+// the five heterogeneous stacks behave like five DCTCP flows.
+func Fig17(cfg RunConfig) *Result {
+	r := newResult("fig17", "Five different stacks made fair by AC/DC",
+		"AC/DC over {Illinois, CUBIC, Reno, Vegas, HighSpeed} matches all-DCTCP: tight max/min spread, fairness ≈0.99")
+	tests := 5
+	if cfg.Long {
+		tests = 10
+	}
+	warm, measure := cfg.scale(100*sim.Millisecond), cfg.scale(300*sim.Millisecond)
+
+	run := func(name string, scheme Scheme, senderCC []string, seedOff int64) float64 {
+		t := stats.NewTable("test", "max", "min", "mean", "median")
+		var fairs []float64
+		for test := 0; test < tests; test++ {
+			rates, _ := runDumbbellOnce(scheme, senderCC, cfg, cfg.seed()+seedOff+int64(test), warm, measure)
+			var s stats.Sample
+			for _, x := range rates {
+				s.Add(x)
+			}
+			t.Row(test+1, s.Max(), s.Min(), s.Mean(), s.Median())
+			fairs = append(fairs, stats.JainFairness(rates))
+		}
+		r.section("%s:", name)
+		r.table(t)
+		return mean(fairs)
+	}
+
+	dctcp := run("Fig 17a — all DCTCP", SchemeDCTCP(9000),
+		[]string{"dctcp", "dctcp", "dctcp", "dctcp", "dctcp"}, 0)
+	acdc := run("Fig 17b — five different CCs under AC/DC",
+		SchemeACDC(9000, "cubic", tcpstack.ECNOff), fig1CCs, 100)
+	r.Metrics["dctcp_fairness"] = dctcp
+	r.Metrics["acdc_mixed_fairness"] = acdc
+	return r
+}
+
+// table1Rows lists Table 1's configurations.
+var table1Rows = []struct {
+	label  string
+	scheme func(mtu int) Scheme
+}{
+	{"CUBIC*", func(mtu int) Scheme { return SchemeCUBIC(mtu) }},
+	{"DCTCP*", func(mtu int) Scheme { return SchemeDCTCP(mtu) }},
+	{"CUBIC", func(mtu int) Scheme { return SchemeACDC(mtu, "cubic", tcpstack.ECNOff) }},
+	{"Reno", func(mtu int) Scheme { return SchemeACDC(mtu, "reno", tcpstack.ECNOff) }},
+	{"DCTCP", func(mtu int) Scheme { return SchemeACDC(mtu, "dctcp", tcpstack.ECNDCTCP) }},
+	{"Illinois", func(mtu int) Scheme { return SchemeACDC(mtu, "illinois", tcpstack.ECNOff) }},
+	{"HighSpeed", func(mtu int) Scheme { return SchemeACDC(mtu, "highspeed", tcpstack.ECNOff) }},
+	{"Vegas", func(mtu int) Scheme { return SchemeACDC(mtu, "vegas", tcpstack.ECNOff) }},
+}
+
+// Table1 reproduces Table 1: dumbbell RTT percentiles, throughput and
+// fairness for CUBIC and DCTCP baselines and for AC/DC over six different
+// host stacks, at both MTUs. Every AC/DC row should look like DCTCP*.
+func Table1(cfg RunConfig) *Result {
+	r := newResult("table1", "AC/DC under many host congestion controls",
+		"All AC/DC rows ≈ DCTCP*: p50 RTT ~120–150 µs, p99 ~215–266 µs, 1.88–1.98 Gbps, fairness 0.99; CUBIC* ~3.2–3.4 ms RTT, fairness 0.85–0.98")
+	warm, measure := cfg.scale(100*sim.Millisecond), cfg.scale(200*sim.Millisecond)
+	mtus := []int{9000}
+	if cfg.Long {
+		mtus = []int{1500, 9000}
+	}
+	for _, mtu := range mtus {
+		t := stats.NewTable("config", "RTT p50 us", "RTT p99 us", "avg Gbps", "fairness")
+		for _, row := range table1Rows {
+			scheme := row.scheme(mtu)
+			net := topo.Dumbbell(5, scheme.options(cfg.seed()))
+			m, flows := dumbbellFlows(net, 5)
+			net.Sim.RunFor(warm)
+			p := workload.NewProber(m, 0, 5)
+			p.Start()
+			start := snapshotDelivered(flows)
+			net.Sim.RunFor(measure)
+			p.Stop()
+			rates := flowRates(flows, start, measure)
+			fair := stats.JainFairness(rates)
+			t.Row(row.label, p.Samples.Percentile(50)/1e3, p.Samples.Percentile(99)/1e3,
+				mean(rates), fair)
+			tag := fmt.Sprintf("%s_mtu%d", sanitize(row.label), mtu)
+			r.Metrics[tag+"_rtt_p50_us"] = p.Samples.Percentile(50) / 1e3
+			r.Metrics[tag+"_tput_gbps"] = mean(rates)
+			r.Metrics[tag+"_fairness"] = fair
+		}
+		r.section("MTU %d:", mtu)
+		r.table(t)
+	}
+	return r
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+32)
+		case c == '*':
+			out = append(out, 's')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,101 @@
+package netsim
+
+import "acdc/internal/packet"
+
+// SharedBuffer models a switch's shared packet memory with the classic
+// Dynamic Threshold algorithm (Choudhury & Hahne): a port may queue at most
+// Alpha × (free buffer) bytes, so a single congested port can take roughly
+// Alpha/(1+Alpha) of the pool while idle ports keep headroom. The paper's
+// G8264 has a 9MB buffer shared by 48 ports and "dynamic buffer allocation",
+// which this reproduces.
+type SharedBuffer struct {
+	Total int // bytes in the pool
+	Alpha float64
+	used  int
+}
+
+// NewSharedBuffer creates a pool of total bytes with dynamic threshold alpha.
+func NewSharedBuffer(total int, alpha float64) *SharedBuffer {
+	return &SharedBuffer{Total: total, Alpha: alpha}
+}
+
+// Used returns the bytes currently held.
+func (b *SharedBuffer) Used() int { return b.used }
+
+// Free returns the unallocated bytes.
+func (b *SharedBuffer) Free() int { return b.Total - b.used }
+
+// Admit reports whether a port currently holding portBytes may queue n more
+// bytes, and reserves them if so.
+func (b *SharedBuffer) Admit(portBytes, n int) bool {
+	if b == nil {
+		return true
+	}
+	free := b.Total - b.used
+	if n > free {
+		return false
+	}
+	if float64(portBytes+n) > b.Alpha*float64(free) {
+		return false
+	}
+	b.used += n
+	return true
+}
+
+// Release returns n bytes to the pool.
+func (b *SharedBuffer) Release(n int) {
+	if b == nil {
+		return
+	}
+	b.used -= n
+	if b.used < 0 {
+		panic("netsim: SharedBuffer released more than admitted")
+	}
+}
+
+// REDConfig configures a port's marking/drop behaviour, mirroring the
+// single-threshold WRED/ECN setup the paper uses (DCTCP-style "mark above K").
+type REDConfig struct {
+	// MarkThresholdBytes is K: when the instantaneous queue length meets or
+	// exceeds K, arriving ECT packets are CE-marked and arriving Not-ECT
+	// packets are dropped. Zero disables marking (plain drop-tail), which is
+	// the paper's CUBIC baseline configuration.
+	MarkThresholdBytes int
+}
+
+// PortQueue is the QueuePolicy for one switch egress port: single-threshold
+// ECN marking plus shared-buffer admission.
+type PortQueue struct {
+	Red    REDConfig
+	Buffer *SharedBuffer // nil means unlimited memory
+}
+
+// OnEnqueue implements QueuePolicy.
+func (q *PortQueue) OnEnqueue(l *Link, p *packet.Packet) bool {
+	size := p.WireLen()
+	if q.Red.MarkThresholdBytes > 0 && l.QueueBytes() >= q.Red.MarkThresholdBytes {
+		ip := p.IP()
+		switch ip.ECN() {
+		case packet.ECT0, packet.ECT1:
+			ip.SetECN(packet.CE)
+			l.Stats.Marks++
+		case packet.CE:
+			// already marked upstream
+		default:
+			// Not-ECT above threshold: WRED drops it. This is the ECN
+			// coexistence failure mode from Judd [36] / Wu [72].
+			return false
+		}
+	}
+	if q.Buffer != nil && !q.Buffer.Admit(l.QueueBytes(), size) {
+		return false
+	}
+	return true
+}
+
+// OnDequeue implements QueuePolicy.
+func (q *PortQueue) OnDequeue(l *Link, p *packet.Packet) {
+	if q.Buffer != nil {
+		q.Buffer.Release(p.WireLen())
+	}
+}

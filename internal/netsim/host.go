@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+)
+
+// PathHook is a vSwitch datapath interception point. It receives one packet
+// and returns the packets that continue along the path: the same packet
+// (possibly mutated or replaced), additional generated packets (e.g. AC/DC
+// FACKs), or none (policing drop). A nil hook is a passthrough.
+type PathHook func(p *packet.Packet) []*packet.Packet
+
+// Host is a server: a guest stack above a vSwitch above a NIC. The guest
+// TCP endpoints (internal/tcpstack) register as the Demux; the AC/DC module
+// (internal/core) installs Egress/Ingress hooks exactly where OVS sits —
+// between the stack and the NIC.
+type Host struct {
+	Sim  *sim.Simulator
+	Name string
+	Addr packet.Addr
+
+	// NIC is the egress link toward the first-hop switch.
+	NIC *Link
+
+	// Egress processes packets leaving the guest stack before they reach the
+	// NIC; Ingress processes packets arriving from the NIC before the stack.
+	Egress  PathHook
+	Ingress PathHook
+
+	// Demux delivers packets to the guest transport layer.
+	Demux Handler
+
+	// OnTxFree, when set, is called for packets that leave the egress path
+	// without reaching the wire (dropped by the egress hook or the NIC
+	// queue), so TSQ accounting in the stack does not leak.
+	OnTxFree func(p *packet.Packet)
+
+	// Counters.
+	SentPackets, RecvPackets      int64
+	SentBytes, RecvBytes          int64
+	EgressDropped, IngressDropped int64
+}
+
+// NewHost creates a host with the given address. Attach the NIC afterwards.
+func NewHost(s *sim.Simulator, name string, addr packet.Addr) *Host {
+	return &Host{Sim: s, Name: name, Addr: addr}
+}
+
+// Output sends a guest-stack packet through the egress hook and onto the NIC.
+func (h *Host) Output(p *packet.Packet) {
+	pkts := applyHook(h.Egress, p)
+	if len(pkts) == 0 {
+		h.EgressDropped++
+		if h.OnTxFree != nil {
+			h.OnTxFree(p)
+		}
+		return
+	}
+	for _, q := range pkts {
+		h.SentPackets++
+		h.SentBytes += int64(q.IPLen())
+		if !h.NIC.Send(q) && h.OnTxFree != nil {
+			h.OnTxFree(q)
+		}
+	}
+}
+
+// HandlePacket implements Handler: packets arriving from the network pass
+// the ingress hook and are delivered to the guest stack.
+func (h *Host) HandlePacket(p *packet.Packet) {
+	pkts := applyHook(h.Ingress, p)
+	if len(pkts) == 0 {
+		h.IngressDropped++
+		return
+	}
+	for _, q := range pkts {
+		h.RecvPackets++
+		h.RecvBytes += int64(q.IPLen())
+		if h.Demux != nil {
+			h.Demux.HandlePacket(q)
+		}
+	}
+}
+
+// DeliverLocal injects a vSwitch-generated packet (e.g. a window update or a
+// duplicate ACK) directly into the guest stack, bypassing the ingress hook.
+func (h *Host) DeliverLocal(p *packet.Packet) {
+	if h.Demux != nil {
+		h.Demux.HandlePacket(p)
+	}
+}
+
+// InjectToWire puts a vSwitch-generated packet (e.g. a FACK) directly on the
+// NIC, bypassing the egress hook.
+func (h *Host) InjectToWire(p *packet.Packet) {
+	h.SentPackets++
+	h.SentBytes += int64(p.IPLen())
+	h.NIC.Send(p)
+}
+
+func applyHook(hook PathHook, p *packet.Packet) []*packet.Packet {
+	if hook == nil {
+		return []*packet.Packet{p}
+	}
+	return hook(p)
+}

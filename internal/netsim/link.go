@@ -1,0 +1,178 @@
+// Package netsim is the network substrate: full-duplex links with
+// store-and-forward serialization, output-queued switches with a shared
+// dynamically-allocated buffer pool and WRED/ECN marking, and hosts with
+// vSwitch hook points on their ingress and egress paths.
+//
+// It stands in for the paper's physical testbed (10GbE NICs, IBM G8264
+// switches with 9MB shared buffers); see DESIGN.md §2 for the substitution
+// argument.
+package netsim
+
+import (
+	"fmt"
+
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+)
+
+// Handler consumes packets delivered by a link.
+type Handler interface {
+	HandlePacket(p *packet.Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(p *packet.Packet)
+
+// HandlePacket implements Handler.
+func (f HandlerFunc) HandlePacket(p *packet.Packet) { f(p) }
+
+// QueuePolicy lets a switch impose admission control and ECN marking on a
+// link's queue. OnEnqueue runs before a packet is queued and may mutate it
+// (set CE) or reject it (drop); OnDequeue runs when serialization of a packet
+// completes and its buffer is released.
+type QueuePolicy interface {
+	OnEnqueue(l *Link, p *packet.Packet) bool
+	OnDequeue(l *Link, p *packet.Packet)
+}
+
+// LinkStats counts link-level events.
+type LinkStats struct {
+	SentPackets    int64
+	SentBytes      int64
+	Drops          int64
+	DropsNonECT    int64 // drops of Not-ECT packets by the marking policy
+	Marks          int64 // CE marks applied by the policy
+	MaxQueueBytes  int
+	EnquedPackets  int64
+	QueueByteTicks float64 // integral of queue bytes over time (for avg occupancy)
+	lastChange     sim.Time
+}
+
+// Link is a simplex link: packets are serialized at Rate bits/sec, then
+// propagate for Delay before delivery to Dst. A FIFO queue forms at the head;
+// a QueuePolicy (set by switches) governs admission and marking.
+type Link struct {
+	Sim   *sim.Simulator
+	Name  string
+	Rate  int64 // bits per second
+	Delay sim.Duration
+	Dst   Handler
+
+	// Policy is consulted on enqueue/dequeue; nil means unlimited FIFO.
+	Policy QueuePolicy
+
+	// OnTxDone, when set, is called as each packet finishes serialization
+	// (the NIC tx-completion interrupt). TCP stacks use it for TSQ-style
+	// backpressure on the host NIC.
+	OnTxDone func(p *packet.Packet)
+
+	Stats LinkStats
+
+	queue      []*packet.Packet
+	queueBytes int
+	busy       bool
+}
+
+// NewLink creates a link with the given rate (bits/sec) and one-way
+// propagation delay.
+func NewLink(s *sim.Simulator, name string, rate int64, delay sim.Duration, dst Handler) *Link {
+	return &Link{Sim: s, Name: name, Rate: rate, Delay: delay, Dst: dst}
+}
+
+// QueueBytes returns the bytes currently queued (including the packet being
+// serialized).
+func (l *Link) QueueBytes() int { return l.queueBytes }
+
+// QueueLen returns the number of queued packets (including in-flight).
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// TxTime returns the serialization time for n wire bytes.
+func (l *Link) TxTime(n int) sim.Duration {
+	return sim.Duration(int64(n) * 8 * int64(sim.Second) / l.Rate)
+}
+
+// Send offers a packet to the link. It returns false if the queue policy
+// dropped it (the packet is then owned by the caller).
+func (l *Link) Send(p *packet.Packet) bool {
+	if l.Policy != nil && !l.Policy.OnEnqueue(l, p) {
+		l.Stats.Drops++
+		if p.IP().ECN() == packet.NotECT {
+			l.Stats.DropsNonECT++
+		}
+		return false
+	}
+	l.accumQueueTicks()
+	p.EnqueuedAt = int64(l.Sim.Now())
+	l.queue = append(l.queue, p)
+	l.queueBytes += p.WireLen()
+	l.Stats.EnquedPackets++
+	if l.queueBytes > l.Stats.MaxQueueBytes {
+		l.Stats.MaxQueueBytes = l.queueBytes
+	}
+	if !l.busy {
+		l.startNext()
+	}
+	return true
+}
+
+func (l *Link) startNext() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	p := l.queue[0]
+	tx := l.TxTime(p.WireLen())
+	l.Sim.Schedule(tx, func() { l.txDone(p) })
+}
+
+func (l *Link) txDone(p *packet.Packet) {
+	l.accumQueueTicks()
+	l.queue = l.queue[1:]
+	l.queueBytes -= p.WireLen()
+	l.Stats.SentPackets++
+	l.Stats.SentBytes += int64(p.WireLen())
+	if l.Policy != nil {
+		l.Policy.OnDequeue(l, p)
+	}
+	if l.OnTxDone != nil {
+		l.OnTxDone(p)
+	}
+	p.SentAt = int64(l.Sim.Now())
+	dst := l.Dst
+	l.Sim.Schedule(l.Delay, func() { dst.HandlePacket(p) })
+	l.startNext()
+}
+
+func (l *Link) accumQueueTicks() {
+	now := l.Sim.Now()
+	dt := now - l.Stats.lastChange
+	if dt > 0 {
+		l.Stats.QueueByteTicks += float64(l.queueBytes) * float64(dt)
+	}
+	l.Stats.lastChange = now
+}
+
+// AvgQueueBytes returns the time-averaged queue occupancy up to now.
+func (l *Link) AvgQueueBytes() float64 {
+	l.accumQueueTicks()
+	if l.Sim.Now() == 0 {
+		return 0
+	}
+	return l.Stats.QueueByteTicks / float64(l.Sim.Now())
+}
+
+// Utilization returns the fraction of capacity used over [0, now].
+func (l *Link) Utilization() float64 {
+	now := l.Sim.Now()
+	if now == 0 {
+		return 0
+	}
+	sentBits := float64(l.Stats.SentBytes) * 8
+	capBits := float64(l.Rate) * now.Seconds()
+	return sentBits / capBits
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link(%s %dbps q=%dB)", l.Name, l.Rate, l.queueBytes)
+}

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+)
+
+// Shaper is a token-bucket rate limiter interposed on a path, modelling the
+// NIC/switch rate limiters the paper's Figure 2 experiment uses ("CUBIC
+// RL=2Gbps") and the §2.3 discussion of VM-level bandwidth allocation.
+// Packets are released at Rate bits/sec with up to Burst bytes of credit;
+// excess packets queue (the limiter's own buffer — exactly where CUBIC's
+// RTT inflation comes from) up to MaxQueueBytes, then drop.
+type Shaper struct {
+	Sim   *sim.Simulator
+	Rate  int64 // bits per second
+	Burst int   // bucket depth, bytes
+	Dst   Handler
+
+	// MaxQueueBytes bounds the backlog; 0 = unlimited.
+	MaxQueueBytes int
+
+	// Stats.
+	Shaped  int64 // packets released
+	Dropped int64
+
+	tokens     float64 // bytes of credit
+	lastRefill sim.Time
+	queue      []*packet.Packet
+	queueBytes int
+	pending    bool
+}
+
+// NewShaper creates a token-bucket shaper forwarding to dst.
+func NewShaper(s *sim.Simulator, rate int64, burst int, dst Handler) *Shaper {
+	return &Shaper{Sim: s, Rate: rate, Burst: burst, Dst: dst, tokens: float64(burst)}
+}
+
+// QueueBytes returns the current backlog.
+func (sh *Shaper) QueueBytes() int { return sh.queueBytes }
+
+// sendThreshold returns the credit required to release a packet needing
+// `need` bytes: a full bucket always suffices (borrowing), so packets larger
+// than the burst still drain at the configured rate instead of wedging.
+func (sh *Shaper) sendThreshold(need float64) float64 {
+	if b := float64(sh.Burst); need > b {
+		return b
+	}
+	return need
+}
+
+// HandlePacket implements Handler.
+func (sh *Shaper) HandlePacket(p *packet.Packet) {
+	sh.refill()
+	need := float64(p.WireLen())
+	if len(sh.queue) == 0 && sh.tokens >= sh.sendThreshold(need) {
+		sh.tokens -= need
+		sh.Shaped++
+		sh.Dst.HandlePacket(p)
+		return
+	}
+	if sh.MaxQueueBytes > 0 && sh.queueBytes+p.WireLen() > sh.MaxQueueBytes {
+		sh.Dropped++
+		return
+	}
+	sh.queue = append(sh.queue, p)
+	sh.queueBytes += p.WireLen()
+	sh.schedule()
+}
+
+func (sh *Shaper) refill() {
+	now := sh.Sim.Now()
+	dt := now - sh.lastRefill
+	if dt > 0 {
+		sh.tokens += float64(sh.Rate) / 8 * dt.Seconds()
+		if sh.tokens > float64(sh.Burst) {
+			sh.tokens = float64(sh.Burst)
+		}
+		sh.lastRefill = now
+	}
+}
+
+func (sh *Shaper) schedule() {
+	if sh.pending || len(sh.queue) == 0 {
+		return
+	}
+	sh.pending = true
+	deficit := sh.sendThreshold(float64(sh.queue[0].WireLen())) - sh.tokens
+	var wait sim.Duration
+	if deficit > 0 {
+		wait = sim.Duration(deficit * 8 / float64(sh.Rate) * float64(sim.Second))
+		if wait < 1 {
+			wait = 1
+		}
+	}
+	sh.Sim.Schedule(wait, sh.release)
+}
+
+func (sh *Shaper) release() {
+	sh.pending = false
+	sh.refill()
+	for len(sh.queue) > 0 {
+		p := sh.queue[0]
+		need := float64(p.WireLen())
+		if sh.tokens < sh.sendThreshold(need) {
+			break
+		}
+		sh.tokens -= need // may go negative (borrowing); refill repays
+		sh.queue = sh.queue[1:]
+		sh.queueBytes -= p.WireLen()
+		sh.Shaped++
+		sh.Dst.HandlePacket(p)
+	}
+	sh.schedule()
+}

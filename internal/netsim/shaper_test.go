@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"testing"
+
+	"acdc/internal/sim"
+)
+
+func TestShaperEnforcesRate(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	sh := NewShaper(s, 1e9, 10_000, c) // 1 Gbps
+	// Offer 2 Gbps for 10 ms.
+	var offer func()
+	offer = func() {
+		if s.Now() >= 10*sim.Millisecond {
+			return
+		}
+		sh.HandlePacket(mkPkt(1000))
+		s.Schedule(4*sim.Microsecond, offer) // ~2 Gbps offered
+	}
+	s.Schedule(0, offer)
+	s.Run(12 * sim.Millisecond)
+	gotBits := 0
+	for _, p := range c.pkts {
+		gotBits += p.WireLen() * 8
+	}
+	rate := float64(gotBits) / 0.012
+	if rate > 1.15e9 {
+		t.Fatalf("shaped rate %.2f Gbps exceeds 1 Gbps", rate/1e9)
+	}
+	if rate < 0.8e9 {
+		t.Fatalf("shaped rate %.2f Gbps too low (work-conserving?)", rate/1e9)
+	}
+	if sh.QueueBytes() == 0 && len(sh.queue) == 0 && s.Pending() == 0 {
+		// fine: drained after offering stopped
+		_ = sh
+	}
+}
+
+func TestShaperPassesUnderRate(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	sh := NewShaper(s, 10e9, 100_000, c)
+	// Offer well under rate: every packet should pass with ~no delay.
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(sim.Duration(i)*100*sim.Microsecond, func() {
+			sh.HandlePacket(mkPkt(1000))
+		})
+	}
+	s.RunAll()
+	if len(c.pkts) != 5 {
+		t.Fatalf("delivered %d", len(c.pkts))
+	}
+	for i, at := range c.times {
+		want := sim.Duration(i) * 100 * sim.Microsecond
+		if at-want > sim.Microsecond {
+			t.Fatalf("packet %d delayed %v", i, at-want)
+		}
+	}
+}
+
+func TestShaperBurstAllowance(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	sh := NewShaper(s, 1e6, 5000, c) // slow rate, 5KB bucket
+	// An instantaneous burst within the bucket passes immediately.
+	for i := 0; i < 4; i++ {
+		sh.HandlePacket(mkPkt(1000))
+	}
+	if len(c.pkts) != 4 {
+		t.Fatalf("burst not passed: %d", len(c.pkts))
+	}
+	// The next packet waits for tokens.
+	sh.HandlePacket(mkPkt(1000))
+	if len(c.pkts) != 4 {
+		t.Fatal("over-burst packet passed immediately")
+	}
+	s.RunAll()
+	if len(c.pkts) != 5 {
+		t.Fatalf("queued packet never released: %d", len(c.pkts))
+	}
+}
+
+func TestShaperDropsBeyondQueueLimit(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	sh := NewShaper(s, 1e6, 1000, c)
+	sh.MaxQueueBytes = 3000
+	for i := 0; i < 20; i++ {
+		sh.HandlePacket(mkPkt(1000))
+	}
+	if sh.Dropped == 0 {
+		t.Fatal("no drops beyond queue limit")
+	}
+	if sh.QueueBytes() > 3000 {
+		t.Fatalf("queue %d beyond limit", sh.QueueBytes())
+	}
+}
+
+func TestShaperFIFO(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	sh := NewShaper(s, 1e6, 100, c)
+	p1, p2 := mkPkt(500), mkPkt(200)
+	sh.HandlePacket(p1)
+	sh.HandlePacket(p2)
+	s.RunAll()
+	if len(c.pkts) != 2 || c.pkts[0] != p1 || c.pkts[1] != p2 {
+		t.Fatal("shaper reordered packets")
+	}
+}

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"fmt"
+
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+)
+
+// SwitchStats aggregates forwarding counters.
+type SwitchStats struct {
+	Forwarded int64
+	NoRoute   int64
+	TTLDrops  int64
+}
+
+// Switch is an output-queued L3 switch: packets are routed by destination
+// address to an egress port (a Link), whose PortQueue enforces the shared
+// buffer and ECN marking. This mirrors the paper's single-chip ToR switches.
+type Switch struct {
+	Sim    *sim.Simulator
+	Name   string
+	Buffer *SharedBuffer
+	Stats  SwitchStats
+
+	// FwdDelay models the switch pipeline latency applied to every packet.
+	FwdDelay sim.Duration
+
+	ports  []*Link
+	routes map[packet.Addr]int
+}
+
+// NewSwitch creates a switch with a shared buffer pool (nil = infinite).
+func NewSwitch(s *sim.Simulator, name string, buffer *SharedBuffer) *Switch {
+	return &Switch{Sim: s, Name: name, Buffer: buffer, routes: make(map[packet.Addr]int)}
+}
+
+// AddPort attaches an egress link and returns its port index. The link's
+// policy is replaced with a PortQueue wired to this switch's shared buffer
+// and the given marking config.
+func (sw *Switch) AddPort(l *Link, red REDConfig) int {
+	l.Policy = &PortQueue{Red: red, Buffer: sw.Buffer}
+	sw.ports = append(sw.ports, l)
+	return len(sw.ports) - 1
+}
+
+// Port returns the egress link at index i.
+func (sw *Switch) Port(i int) *Link { return sw.ports[i] }
+
+// NumPorts returns the number of attached egress links.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// AddRoute directs packets for dst out of port index i.
+func (sw *Switch) AddRoute(dst packet.Addr, port int) {
+	if port < 0 || port >= len(sw.ports) {
+		panic(fmt.Sprintf("netsim: switch %s: route to invalid port %d", sw.Name, port))
+	}
+	sw.routes[dst] = port
+}
+
+// HandlePacket implements Handler: route and enqueue on the egress port.
+func (sw *Switch) HandlePacket(p *packet.Packet) {
+	ip := p.IP()
+	if !ip.Valid() {
+		sw.Stats.NoRoute++
+		return
+	}
+	port, ok := sw.routes[ip.Dst()]
+	if !ok {
+		sw.Stats.NoRoute++
+		return
+	}
+	if !ip.DecTTL() {
+		sw.Stats.TTLDrops++
+		return
+	}
+	p.Hops++
+	sw.Stats.Forwarded++
+	out := sw.ports[port]
+	if sw.FwdDelay > 0 {
+		sw.Sim.Schedule(sw.FwdDelay, func() { out.Send(p) })
+		return
+	}
+	out.Send(p)
+}
+
+// TotalDrops sums drops across all egress ports.
+func (sw *Switch) TotalDrops() int64 {
+	var n int64
+	for _, l := range sw.ports {
+		n += l.Stats.Drops
+	}
+	return n
+}
+
+// TotalSent sums forwarded packets across all egress ports.
+func (sw *Switch) TotalSent() int64 {
+	var n int64
+	for _, l := range sw.ports {
+		n += l.Stats.SentPackets
+	}
+	return n
+}
+
+// DropRate returns drops / (drops + sent) across the switch, the metric the
+// paper reports from switch counters.
+func (sw *Switch) DropRate() float64 {
+	d, s := sw.TotalDrops(), sw.TotalSent()
+	if d+s == 0 {
+		return 0
+	}
+	return float64(d) / float64(d+s)
+}

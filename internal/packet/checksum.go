@@ -1,0 +1,65 @@
+package packet
+
+// Internet checksum (RFC 1071) plus incremental update (RFC 1624). The AC/DC
+// datapath rewrites single header fields (RWND, ECN bits) on the fast path,
+// so incremental updates matter: they touch 2 bytes instead of re-summing the
+// whole header.
+
+// Checksum computes the Internet checksum over b. An odd trailing byte is
+// padded with zero, per RFC 1071.
+func Checksum(b []byte) uint16 {
+	return finish(sum(b, 0))
+}
+
+// ChecksumWith computes the Internet checksum over b with an initial partial
+// sum (e.g. a pseudo-header sum).
+func ChecksumWith(b []byte, initial uint32) uint16 {
+	return finish(sum(b, initial))
+}
+
+// PartialSum accumulates b into a running 32-bit partial sum that can later
+// be finished with FinishSum. b must have even length unless it is the final
+// fragment.
+func PartialSum(b []byte, acc uint32) uint32 { return sum(b, acc) }
+
+// FinishSum folds a partial sum and complements it.
+func FinishSum(acc uint32) uint16 { return finish(acc) }
+
+func sum(b []byte, acc uint32) uint32 {
+	n := len(b)
+	i := 0
+	for ; i+1 < n; i += 2 {
+		acc += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if i < n {
+		acc += uint32(b[i]) << 8
+	}
+	return acc
+}
+
+func finish(acc uint32) uint16 {
+	for acc > 0xffff {
+		acc = (acc >> 16) + (acc & 0xffff)
+	}
+	return ^uint16(acc)
+}
+
+// UpdateChecksum16 incrementally updates checksum old when a 16-bit field
+// changes from from to to (RFC 1624, eqn. 3: HC' = ~(~HC + ~m + m')).
+func UpdateChecksum16(old, from, to uint16) uint16 {
+	acc := uint32(^old&0xffff) + uint32(^from&0xffff) + uint32(to)
+	for acc > 0xffff {
+		acc = (acc >> 16) + (acc & 0xffff)
+	}
+	return ^uint16(acc)
+}
+
+// UpdateChecksum8Pair incrementally updates a checksum when a 16-bit-aligned
+// byte pair changes. hi reports whether the changed byte is the high octet of
+// its 16-bit word.
+func UpdateChecksum8Pair(old uint16, from, to byte, hi bool) uint16 {
+	if hi {
+		return UpdateChecksum16(old, uint16(from)<<8, uint16(to)<<8)
+	}
+	return UpdateChecksum16(old, uint16(from), uint16(to))
+}

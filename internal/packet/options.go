@@ -1,0 +1,311 @@
+package packet
+
+import "encoding/binary"
+
+// TCP option kinds.
+const (
+	OptEOL        = 0
+	OptNOP        = 1
+	OptMSS        = 2 // length 4
+	OptWScale     = 3 // length 3
+	OptSACKPerm   = 4 // length 2
+	OptSACK       = 5 // variable
+	OptTimestamps = 8 // length 10
+	// OptPACK is AC/DC's Piggy-backed ACK congestion-feedback option
+	// (experimental kind per RFC 4727). It carries the receiver module's
+	// running totals of received and CE-marked bytes: 8 bytes of data, as in
+	// the paper ("adding an additional 8 bytes as a TCP Option").
+	OptPACK = 253 // length 10
+	// OptECNEcho marks a reserved-bit substitute: AC/DC uses a reserved
+	// header bit to remember whether the guest's SYN negotiated ECN; we
+	// carry it as a 2-byte option on SYN packets only.
+	OptECNEcho = 254 // length 2
+)
+
+// Option is one parsed TCP option.
+type Option struct {
+	Kind byte
+	Data []byte // option payload, excluding kind and length bytes
+}
+
+// ParseOptions appends all options in opts (a TCP header's option bytes) to
+// dst and returns it. Malformed trailing bytes are ignored, matching the
+// lenient parsing real stacks use.
+func ParseOptions(opts []byte, dst []Option) []Option {
+	for len(opts) > 0 {
+		kind := opts[0]
+		switch kind {
+		case OptEOL:
+			return dst
+		case OptNOP:
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 {
+				return dst
+			}
+			l := int(opts[1])
+			if l < 2 || l > len(opts) {
+				return dst
+			}
+			dst = append(dst, Option{Kind: kind, Data: opts[2:l]})
+			opts = opts[l:]
+		}
+	}
+	return dst
+}
+
+// FindOption returns the payload of the first option with the given kind, or
+// nil if absent. It allocates nothing.
+func FindOption(opts []byte, kind byte) []byte {
+	for len(opts) > 0 {
+		k := opts[0]
+		switch k {
+		case OptEOL:
+			return nil
+		case OptNOP:
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 {
+				return nil
+			}
+			l := int(opts[1])
+			if l < 2 || l > len(opts) {
+				return nil
+			}
+			if k == kind {
+				return opts[2:l]
+			}
+			opts = opts[l:]
+		}
+	}
+	return nil
+}
+
+// SynOptions holds the handshake options AC/DC and the endpoints care about.
+type SynOptions struct {
+	MSS        uint16
+	WScale     uint8
+	WScaleOK   bool
+	SACKPerm   bool
+	GuestECN   bool // OptECNEcho present: guest stack negotiated ECN
+	HasGuestEC bool
+}
+
+// ParseSynOptions extracts handshake options from a SYN/SYN-ACK's options.
+func ParseSynOptions(opts []byte) SynOptions {
+	var so SynOptions
+	for len(opts) > 0 {
+		k := opts[0]
+		if k == OptEOL {
+			break
+		}
+		if k == OptNOP {
+			opts = opts[1:]
+			continue
+		}
+		if len(opts) < 2 {
+			break
+		}
+		l := int(opts[1])
+		if l < 2 || l > len(opts) {
+			break
+		}
+		data := opts[2:l]
+		switch k {
+		case OptMSS:
+			if len(data) >= 2 {
+				so.MSS = binary.BigEndian.Uint16(data)
+			}
+		case OptWScale:
+			if len(data) >= 1 {
+				so.WScale = data[0]
+				so.WScaleOK = true
+			}
+		case OptSACKPerm:
+			so.SACKPerm = true
+		case OptECNEcho:
+			so.GuestECN = true
+			so.HasGuestEC = true
+		}
+		opts = opts[l:]
+	}
+	return so
+}
+
+// BuildSynOptions encodes handshake options (MSS, window scale, SACK
+// permitted) in the layout Linux uses.
+func BuildSynOptions(mss uint16, wscale uint8, sackPerm bool) []byte {
+	b := make([]byte, 0, 12)
+	b = append(b, OptMSS, 4, byte(mss>>8), byte(mss))
+	b = append(b, OptNOP, OptWScale, 3, wscale)
+	if sackPerm {
+		b = append(b, OptNOP, OptNOP, OptSACKPerm, 2)
+	}
+	return b
+}
+
+// PACKInfo is the congestion feedback carried in a PACK/FACK: running totals
+// of bytes received and bytes received with CE marks for one flow direction.
+type PACKInfo struct {
+	TotalBytes  uint32
+	MarkedBytes uint32
+}
+
+// PACKOptionLen is the wire length of a PACK option (kind + len + 8 data).
+const PACKOptionLen = 10
+
+// EncodePACK writes a PACK option into dst and returns the bytes written.
+func EncodePACK(dst []byte, info PACKInfo) int {
+	_ = dst[PACKOptionLen-1]
+	dst[0] = OptPACK
+	dst[1] = PACKOptionLen
+	binary.BigEndian.PutUint32(dst[2:6], info.TotalBytes)
+	binary.BigEndian.PutUint32(dst[6:10], info.MarkedBytes)
+	return PACKOptionLen
+}
+
+// ParsePACK decodes a PACK option payload (as returned by FindOption).
+func ParsePACK(data []byte) (PACKInfo, bool) {
+	if len(data) < 8 {
+		return PACKInfo{}, false
+	}
+	return PACKInfo{
+		TotalBytes:  binary.BigEndian.Uint32(data[0:4]),
+		MarkedBytes: binary.BigEndian.Uint32(data[4:8]),
+	}, true
+}
+
+// InsertTCPOption returns a new packet buffer equal to pkt (a full IPv4+TCP
+// packet) with opt appended to the TCP options, padded to a 4-byte boundary.
+// IP total length, data offset, and both checksums are fixed up. It fails
+// (returns nil) if the resulting TCP header would exceed MaxTCPHeaderLen —
+// the caller should then fall back to a dedicated FACK packet.
+func InsertTCPOption(pkt []byte, opt []byte) []byte {
+	ip := IPv4(pkt)
+	if !ip.Valid() {
+		return nil
+	}
+	t := ip.TCP()
+	if !t.Valid() {
+		return nil
+	}
+	padded := (len(opt) + 3) &^ 3
+	newTCPHdr := t.HeaderLen() + padded
+	if newTCPHdr > MaxTCPHeaderLen {
+		return nil
+	}
+	ihl := ip.HeaderLen()
+	out := make([]byte, len(pkt)+padded)
+	// IP header + TCP header incl. existing options.
+	n := copy(out, pkt[:ihl+t.HeaderLen()])
+	// New option + NOP padding.
+	n += copy(out[n:], opt)
+	for i := 0; i < padded-len(opt); i++ {
+		out[n] = OptNOP
+		n++
+	}
+	// Any trailing (materialized) payload bytes.
+	copy(out[n:], pkt[ihl+t.HeaderLen():])
+
+	oip := IPv4(out)
+	oip.SetTotalLen(ip.TotalLen() + uint16(padded))
+	ot := oip.TCP()
+	ot.setHeaderLen(newTCPHdr)
+	ot.ComputeChecksum(oip.PseudoHeaderSum(tcpLenOf(oip)))
+	return out
+}
+
+// RemoveTCPOption returns a new packet buffer with the first option of the
+// given kind removed from the TCP header (header shrinks; lengths and
+// checksums fixed). If the option is absent the original buffer is returned
+// unchanged.
+func RemoveTCPOption(pkt []byte, kind byte) []byte {
+	ip := IPv4(pkt)
+	if !ip.Valid() {
+		return pkt
+	}
+	t := ip.TCP()
+	if !t.Valid() {
+		return pkt
+	}
+	opts := t.Options()
+	start, length := locateOption(opts, kind)
+	if start < 0 {
+		return pkt
+	}
+	// Extend the cut over adjacent NOP padding until the removed span is a
+	// 4-byte multiple, so the shrunken header stays aligned.
+	end := start + length
+	for (end-start)%4 != 0 && end < len(opts) && opts[end] == OptNOP {
+		end++
+	}
+	for (end-start)%4 != 0 && start > 0 && opts[start-1] == OptNOP {
+		start--
+	}
+	removed := end - start
+	if removed%4 != 0 {
+		// Not alignable: overwrite with NOPs in place (no resize).
+		out := make([]byte, len(pkt))
+		copy(out, pkt)
+		oip := IPv4(out)
+		ot := oip.TCP()
+		oo := ot.Options()
+		oStart, oLen := locateOption(oo, kind)
+		for i := oStart; i < oStart+oLen; i++ {
+			oo[i] = OptNOP
+		}
+		ot.ComputeChecksum(oip.PseudoHeaderSum(tcpLenOf(oip)))
+		return out
+	}
+	ihl := ip.HeaderLen()
+	optAbs := ihl + TCPHeaderLen
+	out := make([]byte, 0, len(pkt)-removed)
+	out = append(out, pkt[:optAbs+start]...)
+	out = append(out, pkt[optAbs+end:]...)
+	oip := IPv4(out)
+	oip.SetTotalLen(ip.TotalLen() - uint16(removed))
+	ot := oip.TCP()
+	ot.setHeaderLen(t.HeaderLen() - removed)
+	ot.ComputeChecksum(oip.PseudoHeaderSum(tcpLenOf(oip)))
+	return out
+}
+
+// locateOption returns the byte offset and wire length of the first option
+// with the given kind inside opts, or (-1, 0).
+func locateOption(opts []byte, kind byte) (int, int) {
+	i := 0
+	for i < len(opts) {
+		k := opts[i]
+		switch k {
+		case OptEOL:
+			return -1, 0
+		case OptNOP:
+			if k == kind {
+				return i, 1
+			}
+			i++
+		default:
+			if i+1 >= len(opts) {
+				return -1, 0
+			}
+			l := int(opts[i+1])
+			if l < 2 || i+l > len(opts) {
+				return -1, 0
+			}
+			if k == kind {
+				return i, l
+			}
+			i += l
+		}
+	}
+	return -1, 0
+}
+
+// tcpLenOf returns the TCP length for the pseudo-header: the IP total length
+// minus the IP header. Because payloads are virtual, this may exceed the
+// bytes materialized in the buffer; the checksum covers only materialized
+// header bytes (NIC-offload model), but the pseudo-header still carries the
+// true segment length so RWND rewrites can't silently change it.
+func tcpLenOf(ip IPv4) uint16 {
+	return ip.TotalLen() - uint16(ip.HeaderLen())
+}

@@ -1,0 +1,91 @@
+package packet
+
+import "fmt"
+
+// FrameOverhead is the per-packet link-layer cost added when timing a packet
+// onto a wire: Ethernet preamble (8) + header (14) + FCS (4) + minimum
+// inter-frame gap (12).
+const FrameOverhead = 38
+
+// Packet is the unit moved through the simulated network. Buf holds real
+// wire-format IPv4+TCP header bytes (which the AC/DC datapath parses and
+// rewrites exactly as OVS would); payload bytes are virtual and accounted by
+// the IP total-length field.
+type Packet struct {
+	// Buf is the materialized IPv4 header + TCP header (+options). Payload
+	// bytes are not materialized.
+	Buf []byte
+	// FlowTag is an opaque workload identifier used by tracing and stats.
+	FlowTag uint32
+	// EnqueuedAt/SentAt are bookkeeping timestamps (ns) set by the network
+	// layer for queue-delay accounting.
+	EnqueuedAt int64
+	SentAt     int64
+	// Hops counts switch traversals, for loop detection in tests.
+	Hops int
+}
+
+// IP returns the IPv4 view of the packet.
+func (p *Packet) IP() IPv4 { return IPv4(p.Buf) }
+
+// TCP returns the TCP view of the packet.
+func (p *Packet) TCP() TCP { return p.IP().TCP() }
+
+// PayloadLen returns the virtual TCP payload length in bytes.
+func (p *Packet) PayloadLen() int {
+	ip := p.IP()
+	return int(ip.TotalLen()) - ip.HeaderLen() - p.TCP().HeaderLen()
+}
+
+// IPLen returns the IP total length (headers + virtual payload).
+func (p *Packet) IPLen() int { return int(p.IP().TotalLen()) }
+
+// WireLen returns the bytes a link serializes for this packet, including
+// link-layer overhead.
+func (p *Packet) WireLen() int { return p.IPLen() + FrameOverhead }
+
+// Clone deep-copies the packet (the datapath clones before mutating packets
+// that are also retained elsewhere, e.g. retransmission queues).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Buf = append([]byte(nil), p.Buf...)
+	return &q
+}
+
+// String renders a compact human-readable summary for traces and test
+// failures, e.g. "10.0.0.1:40000>10.0.0.2:5001 SA seq=1 ack=1 win=65535 len=0".
+func (p *Packet) String() string {
+	ip := p.IP()
+	if !ip.Valid() {
+		return fmt.Sprintf("invalid-ip(%d bytes)", len(p.Buf))
+	}
+	t := ip.TCP()
+	if !t.Valid() {
+		return fmt.Sprintf("%v>%v proto=%d", ip.Src(), ip.Dst(), ip.Protocol())
+	}
+	fl := t.Flags()
+	fs := ""
+	for _, f := range []struct {
+		bit  uint8
+		name string
+	}{{FlagSYN, "S"}, {FlagFIN, "F"}, {FlagRST, "R"}, {FlagPSH, "P"}, {FlagACK, "A"}, {FlagECE, "E"}, {FlagCWR, "C"}} {
+		if fl&f.bit != 0 {
+			fs += f.name
+		}
+	}
+	return fmt.Sprintf("%v:%d>%v:%d %s seq=%d ack=%d win=%d len=%d %s",
+		ip.Src(), t.SrcPort(), ip.Dst(), t.DstPort(), fs, t.Seq(), t.Ack(),
+		t.Window(), p.PayloadLen(), ip.ECN())
+}
+
+// Build constructs a complete packet with the given addresses, TCP fields and
+// virtual payload length. The IP ECN codepoint is ecn; checksums are valid.
+func Build(src, dst Addr, ecn ECN, f TCPFields, payloadLen int) *Packet {
+	optLen := (len(f.Options) + 3) &^ 3
+	tcpHdr := TCPHeaderLen + optLen
+	total := IPv4HeaderLen + tcpHdr + payloadLen
+	buf := make([]byte, IPv4HeaderLen+tcpHdr)
+	ip := InitIPv4(buf, src, dst, uint16(total), ecn)
+	EncodeTCP(buf[IPv4HeaderLen:], f, ip.PseudoHeaderSum(uint16(tcpHdr+payloadLen)))
+	return &Packet{Buf: buf}
+}

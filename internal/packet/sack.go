@@ -1,0 +1,57 @@
+package packet
+
+import "encoding/binary"
+
+// SACK option support (RFC 2018). A SACK block is a [start, end) pair of
+// wire sequence numbers describing an island of received data above the
+// cumulative ACK.
+
+// SACKBlock is one half-open wire-sequence range.
+type SACKBlock struct {
+	Start, End uint32
+}
+
+// MaxSACKBlocks is the most blocks we emit; with AC/DC's 12-byte PACK also
+// on the ACK, three blocks (2+3·8 = 26 bytes) still fit the 40-byte option
+// space.
+const MaxSACKBlocks = 3
+
+// EncodeSACK appends a SACK option for the given blocks to dst and returns
+// the extended slice. No more than MaxSACKBlocks are encoded.
+func EncodeSACK(dst []byte, blocks []SACKBlock) []byte {
+	if len(blocks) == 0 {
+		return dst
+	}
+	if len(blocks) > MaxSACKBlocks {
+		blocks = blocks[:MaxSACKBlocks]
+	}
+	l := 2 + 8*len(blocks)
+	dst = append(dst, OptSACK, byte(l))
+	for _, b := range blocks {
+		var w [8]byte
+		binary.BigEndian.PutUint32(w[0:4], b.Start)
+		binary.BigEndian.PutUint32(w[4:8], b.End)
+		dst = append(dst, w[:]...)
+	}
+	return dst
+}
+
+// ParseSACK decodes the payload of a SACK option (as returned by
+// FindOption) into blocks.
+func ParseSACK(data []byte) []SACKBlock {
+	n := len(data) / 8
+	if n == 0 {
+		return nil
+	}
+	if n > 4 {
+		n = 4
+	}
+	out := make([]SACKBlock, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, SACKBlock{
+			Start: binary.BigEndian.Uint32(data[i*8 : i*8+4]),
+			End:   binary.BigEndian.Uint32(data[i*8+4 : i*8+8]),
+		})
+	}
+	return out
+}

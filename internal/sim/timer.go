@@ -1,0 +1,59 @@
+package sim
+
+// Timer is a restartable one-shot timer bound to a Simulator, modelled after
+// the kernel timers TCP uses for retransmission and delayed ACKs. Unlike raw
+// Events, a Timer can be reset repeatedly and remembers its callback.
+type Timer struct {
+	sim *Simulator
+	fn  func()
+	ev  *Event
+}
+
+// NewTimer creates a stopped timer that runs fn when it expires.
+func NewTimer(s *Simulator, fn func()) *Timer {
+	return &Timer{sim: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d, cancelling any pending expiry.
+func (t *Timer) Reset(d Duration) {
+	t.Stop()
+	t.ev = t.sim.Schedule(d, t.fire)
+}
+
+// ResetAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	t.ev = t.sim.At(at, t.fire)
+}
+
+// ArmIfIdle arms the timer for d only if it is not already pending.
+func (t *Timer) ArmIfIdle(d Duration) {
+	if !t.Pending() {
+		t.Reset(d)
+	}
+}
+
+// Stop cancels a pending expiry. Safe on stopped timers.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.sim.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Pending reports whether the timer is armed and has not yet fired.
+func (t *Timer) Pending() bool { return t.ev != nil && !t.ev.Canceled() }
+
+// Deadline returns the expiry time of a pending timer; valid only when
+// Pending() is true.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.When()
+}
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}

@@ -1,0 +1,303 @@
+// Package stats provides the measurement primitives the evaluation harness
+// uses: percentile/CDF summaries, Jain's fairness index, EWMAs, and
+// windowed throughput meters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates float64 observations for percentile and CDF queries.
+// The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Min returns the smallest observation (0 if empty).
+func (s *Sample) Min() float64 {
+	s.sort()
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.xs[0]
+}
+
+// Max returns the largest observation (0 if empty).
+func (s *Sample) Max() float64 {
+	s.sort()
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.xs[len(s.xs)-1]
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Stddev returns the population standard deviation (0 if fewer than 2 obs).
+func (s *Sample) Stddev() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.xs)))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks. Returns 0 on an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	s.sort()
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return s.xs[0]
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return s.xs[n-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Median is Percentile(50).
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// CDF returns up to points (x, F(x)) pairs summarizing the empirical CDF,
+// suitable for plotting or table dumps.
+func (s *Sample) CDF(points int) [][2]float64 {
+	s.sort()
+	n := len(s.xs)
+	if n == 0 || points <= 0 {
+		return nil
+	}
+	if points > n {
+		points = n
+	}
+	out := make([][2]float64, 0, points)
+	for i := 0; i < points; i++ {
+		idx := (i + 1) * n / points
+		if idx > n {
+			idx = n
+		}
+		out = append(out, [2]float64{s.xs[idx-1], float64(idx) / float64(n)})
+	}
+	return out
+}
+
+// FractionBelow returns the empirical P(X <= x).
+func (s *Sample) FractionBelow(x float64) float64 {
+	s.sort()
+	if len(s.xs) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.xs))
+}
+
+// Summary renders "p50=… p99=… p99.9=… max=…" with a unit divisor, e.g.
+// pass 1e6 to print milliseconds from nanosecond observations.
+func (s *Sample) Summary(div float64, unit string) string {
+	return fmt.Sprintf("n=%d p50=%.3f%s p99=%.3f%s p99.9=%.3f%s max=%.3f%s",
+		s.N(), s.Percentile(50)/div, unit, s.Percentile(99)/div, unit,
+		s.Percentile(99.9)/div, unit, s.Max()/div, unit)
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// JainFairness computes Jain's fairness index (sum x)^2 / (n * sum x^2),
+// which is 1 for perfectly equal allocations and 1/n for a single hog.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// EWMA is an exponentially weighted moving average with weight g for new
+// observations: v ← (1-g)·v + g·x. DCTCP's α estimator uses g = 1/16.
+type EWMA struct {
+	G     float64
+	v     float64
+	valid bool
+}
+
+// Update folds x into the average and returns the new value.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.valid {
+		e.v = x
+		e.valid = true
+	} else {
+		e.v = (1-e.G)*e.v + e.G*x
+	}
+	return e.v
+}
+
+// Value returns the current average (0 before the first update).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Valid reports whether at least one update occurred.
+func (e *EWMA) Valid() bool { return e.valid }
+
+// Meter measures throughput: bytes accumulated between marks.
+type Meter struct {
+	Bytes     int64
+	startNS   int64
+	lastNS    int64
+	intervals []float64 // bits per second per Mark window
+}
+
+// NewMeter starts a meter at time now (ns).
+func NewMeter(nowNS int64) *Meter {
+	return &Meter{startNS: nowNS, lastNS: nowNS}
+}
+
+// Account adds n bytes at the current time (time is supplied at Mark).
+func (m *Meter) Account(n int) { m.Bytes += int64(n) }
+
+// Mark closes the current window at nowNS and records its average bit rate.
+func (m *Meter) Mark(nowNS int64) {
+	dt := nowNS - m.lastNS
+	if dt <= 0 {
+		return
+	}
+	bits := float64(m.Bytes) * 8
+	m.intervals = append(m.intervals, bits/(float64(dt)/1e9))
+	m.Bytes = 0
+	m.lastNS = nowNS
+}
+
+// Rates returns the per-window bit rates recorded by Mark.
+func (m *Meter) Rates() []float64 { return m.intervals }
+
+// TotalRate returns the average bit rate from meter start to nowNS, counting
+// both closed windows and the open one. Requires external byte total.
+type TotalMeter struct {
+	Bytes   int64
+	StartNS int64
+}
+
+// Rate returns average bits/sec over [StartNS, nowNS].
+func (t *TotalMeter) Rate(nowNS int64) float64 {
+	dt := nowNS - t.StartNS
+	if dt <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) * 8 / (float64(dt) / 1e9)
+}
+
+// Gbps formats a bit rate in Gbit/s with 2 decimals.
+func Gbps(bps float64) string { return fmt.Sprintf("%.2fGbps", bps/1e9) }
+
+// Mbps formats a bit rate in Mbit/s with 1 decimal.
+func Mbps(bps float64) string { return fmt.Sprintf("%.1fMbps", bps/1e6) }
+
+// Table is a minimal fixed-width text table writer for harness output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(cols ...string) *Table { return &Table{header: cols} }
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(vals ...any) {
+	r := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			r[i] = fmt.Sprintf("%.3f", x)
+		default:
+			r[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, r)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	w := make([]int, len(t.header))
+	for i, h := range t.header {
+		w[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < w[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}

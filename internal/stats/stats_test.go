@@ -1,0 +1,249 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Median() != 0 {
+		t.Fatal("empty sample should return zeros")
+	}
+	for _, x := range []float64{5, 1, 3, 2, 4} {
+		s.Add(x)
+	}
+	if s.N() != 5 || s.Min() != 1 || s.Max() != 5 || !almost(s.Mean(), 3) {
+		t.Fatalf("basics: n=%d min=%v max=%v mean=%v", s.N(), s.Min(), s.Max(), s.Mean())
+	}
+	if !almost(s.Median(), 3) {
+		t.Fatalf("median = %v", s.Median())
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 4; i++ {
+		s.Add(float64(i)) // 1,2,3,4
+	}
+	if !almost(s.Percentile(0), 1) || !almost(s.Percentile(100), 4) {
+		t.Fatal("extremes wrong")
+	}
+	// p50 of 1..4 with linear interpolation: rank 1.5 → 2.5
+	if !almost(s.Percentile(50), 2.5) {
+		t.Fatalf("p50 = %v, want 2.5", s.Percentile(50))
+	}
+	if !almost(s.Percentile(25), 1.75) {
+		t.Fatalf("p25 = %v, want 1.75", s.Percentile(25))
+	}
+}
+
+func TestPercentileAddAfterQuery(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Median()
+	s.Add(1) // must re-sort
+	if s.Min() != 1 {
+		t.Fatal("sample did not resort after Add")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Sample
+	s.Add(2)
+	if s.Stddev() != 0 {
+		t.Fatal("stddev of single obs should be 0")
+	}
+	s.Add(4)
+	s.Add(4)
+	s.Add(4)
+	s.Add(5)
+	s.Add(5)
+	s.Add(7)
+	s.Add(9)
+	if !almost(s.Stddev(), 2) {
+		t.Fatalf("stddev = %v, want 2", s.Stddev())
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cdf := s.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("CDF points = %d", len(cdf))
+	}
+	if !almost(cdf[9][1], 1.0) {
+		t.Fatalf("last CDF point F=%v", cdf[9][1])
+	}
+	if !almost(cdf[0][0], 10) || !almost(cdf[0][1], 0.1) {
+		t.Fatalf("first CDF point = %v", cdf[0])
+	}
+	if s.CDF(0) != nil {
+		t.Fatal("CDF(0) should be nil")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if !almost(s.FractionBelow(5), 0.5) {
+		t.Fatalf("F(5) = %v", s.FractionBelow(5))
+	}
+	if !almost(s.FractionBelow(0.5), 0) || !almost(s.FractionBelow(10), 1) {
+		t.Fatal("tails wrong")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Sample
+	s.Add(1e6)
+	got := s.Summary(1e6, "ms")
+	if !strings.Contains(got, "p50=1.000ms") {
+		t.Fatalf("Summary = %q", got)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if !almost(JainFairness([]float64{1, 1, 1, 1}), 1) {
+		t.Fatal("equal allocation should be 1")
+	}
+	got := JainFairness([]float64{1, 0, 0, 0})
+	if !almost(got, 0.25) {
+		t.Fatalf("single hog of 4 = %v, want 0.25", got)
+	}
+	if JainFairness(nil) != 0 || JainFairness([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate cases should be 0")
+	}
+}
+
+// Property: Jain's index is always in (1/n, 1] for nonzero allocations and
+// scale-invariant.
+func TestJainProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1) // strictly positive
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		j := JainFairness(xs)
+		if j < 1/float64(len(xs))-1e-9 || j > 1+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = x * 7.5
+		}
+		return almost(j, JainFairness(scaled))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		var s Sample
+		for _, r := range raw {
+			s.Add(float64(r))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev-1e-9 || v < s.Min()-1e-9 || v > s.Max()+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{G: 0.5}
+	if e.Valid() || e.Value() != 0 {
+		t.Fatal("zero EWMA should be invalid")
+	}
+	e.Update(10)
+	if !almost(e.Value(), 10) {
+		t.Fatalf("first update = %v", e.Value())
+	}
+	e.Update(0)
+	if !almost(e.Value(), 5) {
+		t.Fatalf("second update = %v, want 5", e.Value())
+	}
+	// Converges toward a constant input.
+	for i := 0; i < 100; i++ {
+		e.Update(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-6 {
+		t.Fatalf("EWMA did not converge: %v", e.Value())
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter(0)
+	m.Account(1250) // 10000 bits
+	m.Mark(1e9)     // over 1s → 10 kbps
+	m.Account(2500)
+	m.Mark(2e9)
+	rates := m.Rates()
+	if len(rates) != 2 || !almost(rates[0], 10000) || !almost(rates[1], 20000) {
+		t.Fatalf("rates = %v", rates)
+	}
+	// Zero-width window is ignored.
+	m.Mark(2e9)
+	if len(m.Rates()) != 2 {
+		t.Fatal("zero-width window recorded")
+	}
+}
+
+func TestTotalMeter(t *testing.T) {
+	tm := TotalMeter{Bytes: 125_000_000, StartNS: 0}
+	if !almost(tm.Rate(1e9), 1e9) {
+		t.Fatalf("rate = %v, want 1e9", tm.Rate(1e9))
+	}
+	if tm.Rate(0) != 0 {
+		t.Fatal("zero-span rate should be 0")
+	}
+}
+
+func TestRateFormatting(t *testing.T) {
+	if Gbps(9.87e9) != "9.87Gbps" {
+		t.Fatalf("Gbps = %q", Gbps(9.87e9))
+	}
+	if Mbps(214.3e6) != "214.3Mbps" {
+		t.Fatalf("Mbps = %q", Mbps(214.3e6))
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "tput")
+	tb.Row("cubic", 1.98)
+	tb.Row("dctcp", 2.0)
+	s := tb.String()
+	if !strings.Contains(s, "cubic") || !strings.Contains(s, "1.980") {
+		t.Fatalf("table:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+}

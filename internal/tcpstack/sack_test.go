@@ -1,0 +1,202 @@
+package tcpstack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"acdc/internal/netsim"
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+)
+
+func TestInsertRangeMergesAndSorts(t *testing.T) {
+	var rs []seqRange
+	rs = insertRange(rs, seqRange{10, 20})
+	rs = insertRange(rs, seqRange{30, 40})
+	rs = insertRange(rs, seqRange{15, 35}) // bridges both
+	if len(rs) != 1 || rs[0] != (seqRange{10, 40}) {
+		t.Fatalf("merge: %v", rs)
+	}
+	rs = insertRange(rs, seqRange{50, 50}) // empty ignored
+	if len(rs) != 1 {
+		t.Fatalf("empty range inserted: %v", rs)
+	}
+}
+
+func TestTrimBelow(t *testing.T) {
+	rs := []seqRange{{10, 20}, {30, 40}}
+	rs = trimBelow(rs, 15)
+	if len(rs) != 2 || rs[0] != (seqRange{15, 20}) {
+		t.Fatalf("trim partial: %v", rs)
+	}
+	rs = trimBelow(rs, 25)
+	if len(rs) != 1 || rs[0] != (seqRange{30, 40}) {
+		t.Fatalf("trim whole: %v", rs)
+	}
+}
+
+// Property: insertRange keeps the list sorted, disjoint, and
+// content-preserving (total bytes only grow, bounded by the union).
+func TestInsertRangeProperty(t *testing.T) {
+	prop := func(pairs []uint16) bool {
+		var rs []seqRange
+		covered := map[int64]bool{}
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a, b := int64(pairs[i]%500), int64(pairs[i]%500)+int64(pairs[i+1]%50)
+			rs = insertRange(rs, seqRange{a, b})
+			for x := a; x < b; x++ {
+				covered[x] = true
+			}
+		}
+		var total int64
+		prevEnd := int64(-1)
+		for _, r := range rs {
+			if r.start >= r.end || r.start <= prevEnd {
+				return false // unsorted, touching, or empty
+			}
+			prevEnd = r.end
+			total += r.end - r.start
+		}
+		return total == int64(len(covered))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSACKWireRoundTrip(t *testing.T) {
+	blocks := []packet.SACKBlock{{Start: 100, End: 200}, {Start: 300, End: 400}, {Start: 500, End: 600}, {Start: 700, End: 800}}
+	enc := packet.EncodeSACK(nil, blocks)
+	// Build an ACK carrying it and parse back.
+	p := packet.Build(packet.MakeAddr(1, 1, 1, 1), packet.MakeAddr(2, 2, 2, 2),
+		packet.NotECT, packet.TCPFields{SrcPort: 1, DstPort: 2, Flags: packet.FlagACK,
+			Window: 100, Options: enc}, 0)
+	data := packet.FindOption(p.TCP().Options(), packet.OptSACK)
+	got := packet.ParseSACK(data)
+	if len(got) != packet.MaxSACKBlocks {
+		t.Fatalf("blocks = %d, want %d (cap)", len(got), packet.MaxSACKBlocks)
+	}
+	for i, b := range got {
+		if b != blocks[i] {
+			t.Fatalf("block %d = %+v", i, b)
+		}
+	}
+	if packet.EncodeSACK(nil, nil) != nil {
+		t.Fatal("empty encode should be nil")
+	}
+}
+
+func TestSACKNegotiation(t *testing.T) {
+	cfg := smallCfg() // SACK on by default
+	b := newBench(t, 2, cfg, netsim.REDConfig{}, 1e9)
+	cli, srv := b.transfer(t, 0, 1, 1000, 10*sim.Millisecond)
+	if !cli.sackOK || !srv.sackOK {
+		t.Fatal("SACK not negotiated between capable stacks")
+	}
+
+	off := smallCfg()
+	off.SACK = false
+	b2 := newBench(t, 2, off, netsim.REDConfig{}, 1e9)
+	b2.stacks[0].Cfg.SACK = true // capable client, incapable server
+	cli2, srv2 := b2.transfer(t, 0, 1, 1000, 10*sim.Millisecond)
+	if cli2.sackOK || srv2.sackOK {
+		t.Fatal("SACK negotiated with incapable peer")
+	}
+}
+
+// burstLossRun drops `burst` consecutive data segments once mid-flow and
+// returns the client connection after the transfer completes.
+func burstLossRun(t *testing.T, sackOn bool, burst int) (*Conn, *Conn) {
+	t.Helper()
+	cfg := smallCfg()
+	cfg.SACK = sackOn
+	b := newBench(t, 2, cfg, netsim.REDConfig{}, 1e9)
+	count, dropped := 0, 0
+	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+		if p.PayloadLen() > 0 {
+			count++
+			if count >= 30 && dropped < burst {
+				dropped++
+				return nil
+			}
+		}
+		return []*packet.Packet{p}
+	}
+	cli, srv := b.transfer(t, 0, 1, 500_000, 2*sim.Second)
+	if srv.Delivered != 500_000 {
+		t.Fatalf("delivered %d", srv.Delivered)
+	}
+	return cli, srv
+}
+
+func TestSACKRecoversBurstLossWithoutRTO(t *testing.T) {
+	cli, _ := burstLossRun(t, true, 5)
+	if cli.Timeouts != 0 {
+		t.Fatalf("SACK recovery hit %d RTOs on a 5-segment burst", cli.Timeouts)
+	}
+	if cli.FastRecoveries == 0 {
+		t.Fatal("no fast recovery")
+	}
+	// SACK retransmits only the holes: ~burst retransmissions, not go-back-N.
+	if cli.RetransSegs > 10 {
+		t.Fatalf("SACK retransmitted %d segments for a 5-segment burst", cli.RetransSegs)
+	}
+}
+
+func TestNewRenoNeedsMoreRoundsForBurst(t *testing.T) {
+	withSack, _ := burstLossRun(t, true, 5)
+	without, _ := burstLossRun(t, false, 5)
+	// NewReno repairs one hole per RTT (or times out); SACK must not be
+	// slower and usually retransmits no more.
+	if withSack.RetransSegs > without.RetransSegs+2 {
+		t.Fatalf("SACK retransmitted more than NewReno: %d vs %d",
+			withSack.RetransSegs, without.RetransSegs)
+	}
+}
+
+func TestSACKWithHeavyRandomLoss(t *testing.T) {
+	cfg := smallCfg()
+	b := newBench(t, 2, cfg, netsim.REDConfig{}, 1e9)
+	rng := b.s.Rand()
+	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+		if p.PayloadLen() > 0 && rng.Float64() < 0.05 {
+			return nil
+		}
+		return []*packet.Packet{p}
+	}
+	_, srv := b.transfer(t, 0, 1, 1_000_000, 5*sim.Second)
+	if srv.Delivered != 1_000_000 {
+		t.Fatalf("delivered %d under 5%% loss with SACK", srv.Delivered)
+	}
+}
+
+func TestSACKBlockOrderingMostRecentFirst(t *testing.T) {
+	cfg := smallCfg()
+	b := newBench(t, 2, cfg, netsim.REDConfig{}, 1e9)
+	// Capture SACK options emitted by the receiver.
+	var firstBlocks []packet.SACKBlock
+	b.hosts[1].Egress = func(p *packet.Packet) []*packet.Packet {
+		if d := packet.FindOption(p.TCP().Options(), packet.OptSACK); d != nil && firstBlocks == nil {
+			firstBlocks = packet.ParseSACK(d)
+		}
+		return []*packet.Packet{p}
+	}
+	// Drop one early segment to create an island.
+	count := 0
+	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+		if p.PayloadLen() > 0 {
+			count++
+			if count == 5 {
+				return nil
+			}
+		}
+		return []*packet.Packet{p}
+	}
+	b.transfer(t, 0, 1, 100_000, 100*sim.Millisecond)
+	if firstBlocks == nil {
+		t.Fatal("no SACK blocks observed")
+	}
+	if firstBlocks[0].End <= firstBlocks[0].Start {
+		t.Fatalf("degenerate first block %+v", firstBlocks[0])
+	}
+}

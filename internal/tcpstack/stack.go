@@ -1,0 +1,152 @@
+package tcpstack
+
+import (
+	"fmt"
+
+	"acdc/internal/netsim"
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+)
+
+// connKey identifies a connection from the stack's point of view.
+type connKey struct {
+	localPort  uint16
+	remoteAddr packet.Addr
+	remotePort uint16
+}
+
+// Stack is one host's transport layer. It registers as the host's Demux and
+// owns every Conn terminating at that host.
+type Stack struct {
+	Sim  *sim.Simulator
+	Host *netsim.Host
+	Cfg  Config
+
+	conns     map[connKey]*Conn
+	listeners map[uint16]func(*Conn)
+	nextPort  uint16
+
+	// Counters.
+	DeliveredSegs int64
+	DroppedSegs   int64 // segments with no matching connection
+}
+
+// NewStack creates a stack bound to host with the given default config and
+// installs it as the host's demux.
+func NewStack(s *sim.Simulator, host *netsim.Host, cfg Config) *Stack {
+	st := &Stack{
+		Sim:       s,
+		Host:      host,
+		Cfg:       cfg,
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[uint16]func(*Conn)),
+		nextPort:  40000,
+	}
+	host.Demux = st
+	// NIC tx-completion feedback for TSQ backpressure.
+	if host.NIC != nil {
+		host.NIC.OnTxDone = st.txFree
+	}
+	host.OnTxFree = st.txFree
+	return st
+}
+
+// txFree credits a connection's TSQ budget when one of its packets leaves
+// the egress path (serialized by the NIC or dropped before the wire).
+func (st *Stack) txFree(p *packet.Packet) {
+	ip := p.IP()
+	if !ip.Valid() || ip.Protocol() != packet.ProtoTCP {
+		return
+	}
+	t := ip.TCP()
+	if !t.Valid() {
+		return
+	}
+	key := connKey{t.SrcPort(), ip.Dst(), t.DstPort()}
+	if c, ok := st.conns[key]; ok {
+		c.txCompleted(int64(p.IPLen()))
+	}
+}
+
+// Listen registers an accept callback for the given port. Incoming SYNs to
+// the port create server-side connections; onAccept runs when the connection
+// is created (before it is established) so the app can set callbacks.
+func (st *Stack) Listen(port uint16, onAccept func(*Conn)) {
+	st.listeners[port] = onAccept
+}
+
+// Dial creates a client connection to raddr:rport using the stack's default
+// config and sends the SYN.
+func (st *Stack) Dial(raddr packet.Addr, rport uint16) *Conn {
+	return st.DialCfg(raddr, rport, st.Cfg)
+}
+
+// DialCfg creates a client connection with a per-connection config override.
+func (st *Stack) DialCfg(raddr packet.Addr, rport uint16, cfg Config) *Conn {
+	lport := st.allocPort(raddr, rport)
+	c := newConn(st, connKey{lport, raddr, rport}, cfg, false)
+	st.conns[c.key] = c
+	c.sendSYN()
+	return c
+}
+
+func (st *Stack) allocPort(raddr packet.Addr, rport uint16) uint16 {
+	for i := 0; i < 1<<16; i++ {
+		p := st.nextPort
+		st.nextPort++
+		if st.nextPort < 40000 {
+			st.nextPort = 40000
+		}
+		if _, busy := st.conns[connKey{p, raddr, rport}]; !busy {
+			if _, listening := st.listeners[p]; !listening {
+				return p
+			}
+		}
+	}
+	panic("tcpstack: out of ephemeral ports")
+}
+
+// HandlePacket implements netsim.Handler: demux to a connection, or create
+// one for a SYN to a listening port.
+func (st *Stack) HandlePacket(p *packet.Packet) {
+	ip := p.IP()
+	if !ip.Valid() || ip.Protocol() != packet.ProtoTCP {
+		st.DroppedSegs++
+		return
+	}
+	t := ip.TCP()
+	if !t.Valid() {
+		st.DroppedSegs++
+		return
+	}
+	key := connKey{t.DstPort(), ip.Src(), t.SrcPort()}
+	c, ok := st.conns[key]
+	if !ok {
+		if t.HasFlags(packet.FlagSYN) && !t.HasFlags(packet.FlagACK) {
+			if onAccept, listening := st.listeners[t.DstPort()]; listening {
+				c = newConn(st, key, st.Cfg, true)
+				st.conns[key] = c
+				onAccept(c)
+				st.DeliveredSegs++
+				c.receive(p)
+				return
+			}
+		}
+		st.DroppedSegs++
+		return
+	}
+	st.DeliveredSegs++
+	c.receive(p)
+}
+
+// remove deletes a closed connection from the demux table.
+func (st *Stack) remove(c *Conn) {
+	delete(st.conns, c.key)
+}
+
+// NumConns returns the number of live connections (for tests).
+func (st *Stack) NumConns() int { return len(st.conns) }
+
+func (st *Stack) String() string {
+	return fmt.Sprintf("stack(%s conns=%d)", st.Host.Name, len(st.conns))
+}

@@ -1,0 +1,243 @@
+// Package topo builds the paper's experiment topologies (Figure 7): the
+// dumbbell, the multi-hop multi-bottleneck parking lot, and the single-switch
+// star used by the incast and macrobenchmark workloads. Each builder wires
+// hosts, switches, links, routes, guest TCP stacks, and (optionally) AC/DC
+// modules, and returns a Net handle the workloads drive.
+package topo
+
+import (
+	"fmt"
+
+	"acdc/internal/core"
+	"acdc/internal/netsim"
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+	"acdc/internal/tcpstack"
+)
+
+// Options configures a topology build.
+type Options struct {
+	// LinkRate is every link's rate in bits/sec (default 10 Gbps).
+	LinkRate int64
+	// LinkDelay is the one-way propagation delay per link (default 5µs).
+	LinkDelay sim.Duration
+	// BufferBytes is each switch's shared buffer (default 9MB, the G8264).
+	BufferBytes int
+	// BufferAlpha is the dynamic-threshold α (default 1.0).
+	BufferAlpha float64
+	// RED configures every switch port's marking behaviour.
+	RED netsim.REDConfig
+	// Guest is the guest TCP stack configuration for every host.
+	Guest tcpstack.Config
+	// GuestFor, when set, overrides the guest config per host index — the
+	// mixed-stack experiments (Figures 1, 15, 17; Table 1) need different
+	// congestion controls on different hosts.
+	GuestFor func(host int) *tcpstack.Config
+	// ACDC, when non-nil, attaches an AC/DC module to every host.
+	ACDC *core.Config
+	// ACDCFor, when set, overrides the AC/DC config per host (e.g. per-host
+	// β policies in the QoS experiment). Returning nil skips attachment for
+	// that host even when ACDC is set.
+	ACDCFor func(host int) *core.Config
+	// Seed seeds the simulation RNG (default 1).
+	Seed int64
+}
+
+// Defaults fills zero fields with the paper's testbed values.
+func (o Options) withDefaults() Options {
+	if o.LinkRate == 0 {
+		o.LinkRate = 10e9
+	}
+	if o.LinkDelay == 0 {
+		o.LinkDelay = 5 * sim.Microsecond
+	}
+	if o.BufferBytes == 0 {
+		o.BufferBytes = 9 << 20
+	}
+	if o.BufferAlpha == 0 {
+		o.BufferAlpha = 1.0
+	}
+	if o.Guest.MTU == 0 {
+		o.Guest = tcpstack.DefaultConfig()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// DefaultMarkThreshold returns the WRED/ECN threshold used when marking is
+// on: 90KB at 10Gbps (≈65 1.5K packets / 10 jumbo packets, the DCTCP-style
+// K the testbed switches were configured with).
+const DefaultMarkThreshold = 90_000
+
+// Net is a built topology.
+type Net struct {
+	Sim      *sim.Simulator
+	Switches []*netsim.Switch
+	Hosts    []*netsim.Host
+	Stacks   []*tcpstack.Stack
+	ACDC     []*core.VSwitch // nil entries when AC/DC is not attached
+	Opts     Options
+}
+
+// Stack returns host i's guest stack.
+func (n *Net) Stack(i int) *tcpstack.Stack { return n.Stacks[i] }
+
+// Addr returns host i's address.
+func (n *Net) Addr(i int) packet.Addr { return n.Hosts[i].Addr }
+
+// TotalDrops sums packet drops over all switches.
+func (n *Net) TotalDrops() int64 {
+	var d int64
+	for _, sw := range n.Switches {
+		d += sw.TotalDrops()
+	}
+	return d
+}
+
+// DropRate aggregates the drop rate over all switches.
+func (n *Net) DropRate() float64 {
+	var d, s int64
+	for _, sw := range n.Switches {
+		d += sw.TotalDrops()
+		s += sw.TotalSent()
+	}
+	if d+s == 0 {
+		return 0
+	}
+	return float64(d) / float64(d+s)
+}
+
+// newNet allocates the container and simulator.
+func newNet(o Options) *Net {
+	o = o.withDefaults()
+	return &Net{Sim: sim.New(o.Seed), Opts: o}
+}
+
+func (n *Net) addSwitch(name string) *netsim.Switch {
+	sw := netsim.NewSwitch(n.Sim, name,
+		netsim.NewSharedBuffer(n.Opts.BufferBytes, n.Opts.BufferAlpha))
+	n.Switches = append(n.Switches, sw)
+	return sw
+}
+
+// addHost creates a host attached to sw and returns its index.
+func (n *Net) addHost(sw *netsim.Switch, addr packet.Addr, name string) int {
+	o := n.Opts
+	h := netsim.NewHost(n.Sim, name, addr)
+	h.NIC = netsim.NewLink(n.Sim, name+".up", o.LinkRate, o.LinkDelay, sw)
+	down := netsim.NewLink(n.Sim, name+".down", o.LinkRate, o.LinkDelay, h)
+	sw.AddRoute(addr, sw.AddPort(down, o.RED))
+	n.Hosts = append(n.Hosts, h)
+	idx := len(n.Hosts) - 1
+	guest := o.Guest
+	if o.GuestFor != nil {
+		if g := o.GuestFor(idx); g != nil {
+			guest = *g
+		}
+	}
+	n.Stacks = append(n.Stacks, tcpstack.NewStack(n.Sim, h, guest))
+	acdcCfg := o.ACDC
+	if o.ACDCFor != nil {
+		acdcCfg = o.ACDCFor(idx)
+	}
+	if acdcCfg != nil {
+		cfg := *acdcCfg
+		n.ACDC = append(n.ACDC, core.Attach(n.Sim, h, cfg))
+	} else {
+		n.ACDC = append(n.ACDC, nil)
+	}
+	return idx
+}
+
+// connectSwitches wires a bidirectional trunk between two switches.
+func (n *Net) connectSwitches(a, b *netsim.Switch) (portAtoB, portBtoA int) {
+	o := n.Opts
+	ab := netsim.NewLink(n.Sim, a.Name+">"+b.Name, o.LinkRate, o.LinkDelay, b)
+	ba := netsim.NewLink(n.Sim, b.Name+">"+a.Name, o.LinkRate, o.LinkDelay, a)
+	return a.AddPort(ab, o.RED), b.AddPort(ba, o.RED)
+}
+
+// Star builds n hosts around a single switch (the macrobenchmark fabric; 48
+// hosts model the 48-port G8264 with one flow per NIC).
+func Star(n int, o Options) *Net {
+	net := newNet(o)
+	sw := net.addSwitch("tor")
+	for i := 0; i < n; i++ {
+		net.addHost(sw, hostAddr(i), fmt.Sprintf("h%d", i))
+	}
+	return net
+}
+
+// Dumbbell builds the Figure 7a topology: `pairs` senders on one switch,
+// `pairs` receivers on another, one shared bottleneck trunk. Hosts 0..pairs-1
+// are senders s1..sN; hosts pairs..2*pairs-1 are receivers r1..rN.
+func Dumbbell(pairs int, o Options) *Net {
+	net := newNet(o)
+	left := net.addSwitch("left")
+	right := net.addSwitch("right")
+	lr, rl := net.connectSwitches(left, right)
+	for i := 0; i < pairs; i++ {
+		net.addHost(left, hostAddr(i), fmt.Sprintf("s%d", i+1))
+	}
+	for i := 0; i < pairs; i++ {
+		idx := net.addHost(right, hostAddr(pairs+i), fmt.Sprintf("r%d", i+1))
+		// Senders reach receivers over the trunk.
+		left.AddRoute(net.Hosts[idx].Addr, lr)
+	}
+	for i := 0; i < pairs; i++ {
+		right.AddRoute(net.Hosts[i].Addr, rl)
+	}
+	return net
+}
+
+// BottleneckPort returns the dumbbell's congested egress (left→right trunk).
+func (n *Net) BottleneckPort() *netsim.Link {
+	if len(n.Switches) < 2 {
+		// Star: caller should use the receiver's downlink instead.
+		panic("topo: BottleneckPort on non-dumbbell topology")
+	}
+	// connectSwitches added the trunk as the first port of the left switch.
+	return n.Switches[0].Port(0)
+}
+
+// ParkingLot builds the Figure 7b multi-hop, multi-bottleneck chain:
+// switches SW0–SW3, the receiver on SW0 (host index 0), and five senders
+// spread along the chain (1@SW1, 2@SW2, 2@SW3) so flows cross different
+// numbers of bottlenecks.
+func ParkingLot(o Options) *Net {
+	net := newNet(o)
+	sws := make([]*netsim.Switch, 4)
+	for i := range sws {
+		sws[i] = net.addSwitch(fmt.Sprintf("sw%d", i))
+	}
+	// Chain trunks sw3→sw2→sw1→sw0 (toward the receiver) and reverse.
+	type trunk struct{ fwd, rev int }
+	trunks := make([]trunk, 3) // trunks[i] connects sws[i] and sws[i+1]
+	for i := 0; i < 3; i++ {
+		f, r := net.connectSwitches(sws[i], sws[i+1])
+		trunks[i] = trunk{fwd: f, rev: r}
+	}
+	recv := net.addHost(sws[0], hostAddr(0), "recv")
+	placement := []int{1, 2, 2, 3, 3}
+	for i, swIdx := range placement {
+		net.addHost(sws[swIdx], hostAddr(i+1), fmt.Sprintf("s%d", i+1))
+	}
+	// Routes: every switch forwards the receiver's address down-chain and
+	// each sender's address up-chain.
+	for i := 1; i < 4; i++ {
+		sws[i].AddRoute(net.Hosts[recv].Addr, trunks[i-1].rev)
+	}
+	for i, swIdx := range placement {
+		addr := net.Hosts[i+1].Addr
+		for s := 0; s < swIdx; s++ {
+			sws[s].AddRoute(addr, trunks[s].fwd)
+		}
+	}
+	return net
+}
+
+func hostAddr(i int) packet.Addr {
+	return packet.MakeAddr(10, 0, byte(i/250), byte(i%250+1))
+}

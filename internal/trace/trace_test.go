@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleWithinSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []*Dist{WebSearch(), DataMining()} {
+		lo := int64(d.points[0].Bytes)
+		hi := int64(d.points[len(d.points)-1].Bytes)
+		for i := 0; i < 10000; i++ {
+			s := d.Sample(rng)
+			if s < lo/2 || s > hi {
+				t.Fatalf("%s: sample %d outside [%d, %d]", d.Name, s, lo, hi)
+			}
+		}
+	}
+}
+
+func TestEmpiricalCDFMatchesKnots(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := WebSearch()
+	n := 200000
+	var below133k int
+	for i := 0; i < n; i++ {
+		if d.Sample(rng) <= 133_000 {
+			below133k++
+		}
+	}
+	got := float64(below133k) / float64(n)
+	if got < 0.57 || got > 0.63 {
+		t.Fatalf("P(size ≤ 133KB) = %.3f, want ≈0.60", got)
+	}
+}
+
+func TestDataMiningHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := DataMining()
+	n := 100000
+	var mice int
+	var total, tailBytes float64
+	for i := 0; i < n; i++ {
+		s := float64(d.Sample(rng))
+		total += s
+		if s <= 1000 {
+			mice++
+		}
+		if s > 10_000_000 {
+			tailBytes += s
+		}
+	}
+	if frac := float64(mice) / float64(n); frac < 0.55 || frac > 0.65 {
+		t.Fatalf("mice fraction %.3f, want ≈0.60", frac)
+	}
+	// The tail (>10MB flows) must carry most of the bytes.
+	if tailBytes/total < 0.5 {
+		t.Fatalf("tail bytes fraction %.3f, want >0.5 (heavy tail)", tailBytes/total)
+	}
+}
+
+func TestMeanEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, d := range []*Dist{WebSearch(), DataMining()} {
+		var sum float64
+		n := 500000
+		for i := 0; i < n; i++ {
+			sum += float64(d.Sample(rng))
+		}
+		emp := sum / float64(n)
+		ana := d.Mean()
+		ratio := emp / ana
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Fatalf("%s: empirical mean %.0f vs analytic %.0f", d.Name, emp, ana)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range [][]Point{
+		{{100, 1}},               // too few
+		{{100, 0.5}, {200, 0.4}}, // unsorted
+		{{100, 0.5}, {200, 0.9}}, // doesn't end at 1
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%v) did not panic", bad)
+				}
+			}()
+			New("bad", bad)
+		}()
+	}
+}
+
+// Property: sampling is deterministic under a fixed seed.
+func TestSampleDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		d := DataMining()
+		a := d.Sample(rand.New(rand.NewSource(seed)))
+		b := d.Sample(rand.New(rand.NewSource(seed)))
+		return a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

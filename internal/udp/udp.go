@@ -1,0 +1,83 @@
+// Package udp provides minimal unreliable datagram endpoints for the hosts:
+// no congestion control, no recovery — exactly the kind of traffic the
+// paper's §3.3 future-work discussion worries about, and the guest side of
+// the vSwitch UDP tunnel implemented in internal/core.
+package udp
+
+import (
+	"acdc/internal/netsim"
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+)
+
+// Endpoint is one host's UDP layer. It coexists with a TCP stack on the
+// same host by chaining the demux: TCP segments continue to the previous
+// handler.
+type Endpoint struct {
+	Sim  *sim.Simulator
+	Host *netsim.Host
+
+	// OnRecv is called for every delivered datagram.
+	OnRecv func(src packet.Addr, sport, dport uint16, payload int)
+
+	// Counters.
+	Sent, Received int64
+	SentBytes      int64
+	ReceivedBytes  int64
+
+	next netsim.Handler
+}
+
+// NewEndpoint installs a UDP endpoint on host, chaining any existing demux
+// (e.g. a tcpstack.Stack) for non-UDP traffic.
+func NewEndpoint(s *sim.Simulator, host *netsim.Host) *Endpoint {
+	e := &Endpoint{Sim: s, Host: host, next: host.Demux}
+	host.Demux = e
+	return e
+}
+
+// HandlePacket implements netsim.Handler.
+func (e *Endpoint) HandlePacket(p *packet.Packet) {
+	ip := p.IP()
+	if !ip.Valid() || ip.Protocol() != packet.ProtoUDP {
+		if e.next != nil {
+			e.next.HandlePacket(p)
+		}
+		return
+	}
+	u := ip.UDP()
+	if !u.Valid() {
+		return
+	}
+	payload := int(ip.TotalLen()) - ip.HeaderLen() - packet.UDPHeaderLen
+	e.Received++
+	e.ReceivedBytes += int64(payload)
+	if e.OnRecv != nil {
+		e.OnRecv(ip.Src(), u.SrcPort(), u.DstPort(), payload)
+	}
+}
+
+// Send emits one datagram of n payload bytes.
+func (e *Endpoint) Send(dst packet.Addr, sport, dport uint16, n int) {
+	p := packet.BuildUDP(e.Host.Addr, dst, packet.NotECT, sport, dport, n)
+	e.Sent++
+	e.SentBytes += int64(n)
+	e.Host.Output(p)
+}
+
+// Blast sends datagrams of size bytes at the given bit rate until the
+// simulator passes `until`. It models a misbehaving constant-bit-rate
+// application with no congestion control at all.
+func (e *Endpoint) Blast(dst packet.Addr, sport, dport uint16, size int, rate int64, until sim.Time) {
+	interval := sim.Duration(int64(size+packet.IPv4HeaderLen+packet.UDPHeaderLen+packet.FrameOverhead) * 8 *
+		int64(sim.Second) / rate)
+	var tick func()
+	tick = func() {
+		if e.Sim.Now() >= until {
+			return
+		}
+		e.Send(dst, sport, dport, size)
+		e.Sim.Schedule(interval, tick)
+	}
+	e.Sim.Schedule(0, tick)
+}

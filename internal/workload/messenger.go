@@ -1,0 +1,138 @@
+// Package workload drives traffic through a topo.Net the way the paper's
+// benchmark tools do: message-based applications over persistent TCP
+// connections with receiver-side flow-completion-time measurement (iperf /
+// simple TCP apps), an application-level RTT prober (sockperf ping-pong),
+// and the §5.2 macro-workloads (incast, concurrent stride, shuffle,
+// trace-driven).
+package workload
+
+import (
+	"fmt"
+
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+	"acdc/internal/tcpstack"
+	"acdc/internal/topo"
+)
+
+// Manager owns the connection plumbing on one Net: every host listens on a
+// common port, and accepted connections are matched back to the Messenger
+// that dialed them.
+type Manager struct {
+	Net  *topo.Net
+	Port uint16
+
+	pending map[connID]*Messenger
+}
+
+type connID struct {
+	addr packet.Addr
+	port uint16
+}
+
+// NewManager installs listeners on every host.
+func NewManager(net *topo.Net) *Manager {
+	m := &Manager{Net: net, Port: 5001, pending: make(map[connID]*Messenger)}
+	for i := range net.Hosts {
+		m.listenOn(i)
+	}
+	return m
+}
+
+func (m *Manager) listenOn(i int) {
+	m.Net.Stacks[i].Listen(m.Port, func(c *tcpstack.Conn) {
+		raddr, rport := c.RemoteAddr()
+		id := connID{raddr, rport}
+		ms, ok := m.pending[id]
+		if !ok {
+			return // unknown connection; leave it unused
+		}
+		delete(m.pending, id)
+		ms.attachServer(c)
+	})
+}
+
+// Open dials a persistent connection from host `from` to host `to` and
+// returns its Messenger.
+func (m *Manager) Open(from, to int) *Messenger {
+	if from == to {
+		panic(fmt.Sprintf("workload: self-connection on host %d", from))
+	}
+	cli := m.Net.Stacks[from].Dial(m.Net.Addr(to), m.Port)
+	ms := &Messenger{Sim: m.Net.Sim, Cli: cli, From: from, To: to}
+	m.pending[connID{m.Net.Addr(from), cli.LocalPort()}] = ms
+	return ms
+}
+
+// message is one tracked application message in flight.
+type message struct {
+	end     int64 // cumulative delivered-bytes offset that completes it
+	size    int64
+	started sim.Time
+	done    func(fct sim.Duration)
+}
+
+// Messenger is a one-direction message stream over a TCP connection: the
+// client writes messages back to back; completion is observed at the
+// receiver when the in-order delivered byte count crosses each message
+// boundary (the paper's "simple TCP application ... to measure FCTs").
+type Messenger struct {
+	Sim      *sim.Simulator
+	Cli      *tcpstack.Conn
+	From, To int
+
+	srv    *tcpstack.Conn
+	queued int64
+	msgs   []message
+	// OnMessage fires at the receiver when a tracked message fully arrives.
+	OnMessage func(size int64)
+}
+
+func (ms *Messenger) attachServer(c *tcpstack.Conn) {
+	ms.srv = c
+	c.OnRecv = func(int) { ms.checkComplete() }
+	ms.checkComplete()
+}
+
+// Srv returns the server-side connection (nil before accept).
+func (ms *Messenger) Srv() *tcpstack.Conn { return ms.srv }
+
+// SendMessage queues one tracked message of n bytes; done (optional) runs at
+// the receiver with the flow completion time.
+func (ms *Messenger) SendMessage(n int64, done func(fct sim.Duration)) {
+	ms.queued += n
+	ms.msgs = append(ms.msgs, message{
+		end: ms.queued, size: n, started: ms.Sim.Now(), done: done,
+	})
+	ms.Cli.Send(n)
+}
+
+// SendBulk queues untracked bytes (long-lived background flows).
+func (ms *Messenger) SendBulk(n int64) {
+	ms.queued += n
+	ms.Cli.Send(n)
+}
+
+func (ms *Messenger) checkComplete() {
+	if ms.srv == nil {
+		return
+	}
+	for len(ms.msgs) > 0 && ms.srv.Delivered >= ms.msgs[0].end {
+		msg := ms.msgs[0]
+		ms.msgs = ms.msgs[1:]
+		if msg.done != nil {
+			msg.done(ms.Sim.Now() - msg.started)
+		}
+		if ms.OnMessage != nil {
+			ms.OnMessage(msg.size)
+		}
+	}
+}
+
+// Delivered returns bytes delivered in order at the receiver.
+func (ms *Messenger) Delivered() int64 {
+	if ms.srv == nil {
+		return 0
+	}
+	return ms.srv.Delivered
+}

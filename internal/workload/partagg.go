@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"acdc/internal/sim"
+	"acdc/internal/stats"
+)
+
+// PartitionAggregate models the application behind incast (the paper's §5.2
+// motivation, after Vasudevan et al. [67]): an aggregator fans a query out
+// to N workers, each replies with a fixed-size shard, and the query
+// completes when the last shard arrives. Query completion time (QCT) is
+// dominated by the slowest worker — exactly what switch drops and RTO
+// stalls destroy.
+type PartitionAggregate struct {
+	m          *Manager
+	workers    []*Messenger // aggregator → worker (query direction)
+	replies    []*Messenger // worker → aggregator (shard direction)
+	ShardBytes int64
+	QueryBytes int64
+
+	// QCT collects query completion times.
+	QCT stats.Sample
+	// Queries counts completed queries.
+	Queries int
+
+	pending  int
+	started  sim.Time
+	stopped  bool
+	interval sim.Duration
+}
+
+// NewPartitionAggregate wires an aggregator (host agg) to the given workers
+// with persistent connections in both directions.
+func NewPartitionAggregate(m *Manager, agg int, workers []int, shardBytes int64) *PartitionAggregate {
+	pa := &PartitionAggregate{m: m, ShardBytes: shardBytes, QueryBytes: 64}
+	for _, w := range workers {
+		w := w
+		q := m.Open(agg, w)
+		r := m.Open(w, agg)
+		// When the query message reaches the worker, it sends its shard.
+		q.OnMessage = func(int64) {
+			r.SendMessage(pa.ShardBytes, func(sim.Duration) { pa.shardDone() })
+		}
+		pa.workers = append(pa.workers, q)
+		pa.replies = append(pa.replies, r)
+	}
+	return pa
+}
+
+// Run issues queries back to back (spacing ≥ interval between completions
+// and the next fan-out; 0 = closed loop).
+func (pa *PartitionAggregate) Run(interval sim.Duration) {
+	pa.interval = interval
+	pa.issue()
+}
+
+// Stop ends the run after the in-flight query.
+func (pa *PartitionAggregate) Stop() { pa.stopped = true }
+
+func (pa *PartitionAggregate) issue() {
+	if pa.stopped {
+		return
+	}
+	pa.started = pa.m.Net.Sim.Now()
+	pa.pending = len(pa.workers)
+	for _, q := range pa.workers {
+		q.SendMessage(pa.QueryBytes, nil)
+	}
+}
+
+func (pa *PartitionAggregate) shardDone() {
+	pa.pending--
+	if pa.pending > 0 {
+		return
+	}
+	pa.QCT.Add(float64(pa.m.Net.Sim.Now() - pa.started))
+	pa.Queries++
+	if pa.interval > 0 {
+		pa.m.Net.Sim.Schedule(pa.interval, pa.issue)
+	} else {
+		pa.issue()
+	}
+}

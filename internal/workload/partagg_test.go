@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"testing"
+
+	"acdc/internal/core"
+	"acdc/internal/netsim"
+	"acdc/internal/sim"
+	"acdc/internal/tcpstack"
+	"acdc/internal/topo"
+)
+
+func TestPartitionAggregateCompletesQueries(t *testing.T) {
+	net := starNet(9)
+	m := NewManager(net)
+	pa := NewPartitionAggregate(m, 8, []int{0, 1, 2, 3, 4, 5, 6, 7}, 64<<10)
+	pa.Run(0)
+	net.Sim.RunFor(100 * sim.Millisecond)
+	pa.Stop()
+	if pa.Queries < 5 {
+		t.Fatalf("only %d queries completed", pa.Queries)
+	}
+	if pa.QCT.Min() <= 0 {
+		t.Fatal("non-positive QCT")
+	}
+}
+
+func TestPartitionAggregateQCTUnderSchemes(t *testing.T) {
+	// The incast story at the application level: synchronized 32-worker
+	// fan-in with 256KB shards. CUBIC's drop-tail losses inflate tail QCT;
+	// AC/DC over the same CUBIC guests must pull the tail back down.
+	run := func(acdcOn bool) *PartitionAggregate {
+		g := tcpstack.DefaultConfig() // CUBIC, no ECN
+		o := topo.Options{Guest: g, Seed: 5}
+		if acdcOn {
+			ac := core.DefaultConfig()
+			o.ACDC = &ac
+			o.RED = netsim.REDConfig{MarkThresholdBytes: topo.DefaultMarkThreshold}
+		}
+		net := topo.Star(33, o)
+		m := NewManager(net)
+		workers := make([]int, 32)
+		for i := range workers {
+			workers[i] = i
+		}
+		pa := NewPartitionAggregate(m, 32, workers, 256<<10)
+		pa.Run(0)
+		net.Sim.RunFor(400 * sim.Millisecond)
+		pa.Stop()
+		return pa
+	}
+	cubic := run(false)
+	acdc := run(true)
+	t.Logf("CUBIC: n=%d p50=%.2fms p99=%.2fms", cubic.Queries,
+		cubic.QCT.Percentile(50)/1e6, cubic.QCT.Percentile(99)/1e6)
+	t.Logf("AC/DC: n=%d p50=%.2fms p99=%.2fms", acdc.Queries,
+		acdc.QCT.Percentile(50)/1e6, acdc.QCT.Percentile(99)/1e6)
+	if cubic.Queries == 0 || acdc.Queries == 0 {
+		t.Fatal("no queries completed")
+	}
+	// AC/DC must not be worse at the tail, and usually is far better.
+	if acdc.QCT.Percentile(99) > cubic.QCT.Percentile(99)*1.1 {
+		t.Fatalf("AC/DC tail QCT %.2fms worse than CUBIC %.2fms",
+			acdc.QCT.Percentile(99)/1e6, cubic.QCT.Percentile(99)/1e6)
+	}
+	// And it should complete at least as many queries in the same time.
+	if acdc.Queries < cubic.Queries {
+		t.Fatalf("AC/DC completed %d < CUBIC %d", acdc.Queries, cubic.Queries)
+	}
+}
