@@ -129,12 +129,21 @@ type overheadBench struct {
 }
 
 func newOverheadBench(nFlows int) *overheadBench {
+	return newOverheadBenchCfg(nFlows, nil)
+}
+
+// newOverheadBenchCfg is newOverheadBench with a Config hook, for ablations
+// that flip datapath features (metrics, policing, …).
+func newOverheadBenchCfg(nFlows int, mutate func(*core.Config)) *overheadBench {
 	s := sim.New(1)
 	host := netsim.NewHost(s, "h", packet.MakeAddr(10, 0, 0, 1))
 	host.NIC = netsim.NewLink(s, "nic", 10e9, sim.Microsecond,
 		netsim.HandlerFunc(func(*packet.Packet) {}))
 	cfg := core.DefaultConfig()
 	cfg.MTU = 1500 // the paper reports 1.5KB MTU (worst case: most packets)
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	v := core.Attach(s, host, cfg)
 
 	ob := &overheadBench{v: v}
@@ -242,6 +251,32 @@ func BenchmarkFig12ReceiverOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkDatapathWithMetrics isolates the cost of the observability layer:
+// the Figure 11 sender-side loop with the metrics registry enabled (the
+// default) versus DisableMetrics (every instrument nil, updates compile to a
+// predicted branch). The enabled/disabled delta is the metrics overhead and
+// must stay under 5% of the per-segment datapath cost.
+func BenchmarkDatapathWithMetrics(b *testing.B) {
+	for _, n := range []int{100, 10000} {
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"enabled", false}, {"disabled", true}} {
+			ob := newOverheadBenchCfg(n, func(c *core.Config) { c.DisableMetrics = mode.disable })
+			b.Run(fmt.Sprintf("%s/flows=%d", mode.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					f := i % n
+					bumpSeq(ob.data[f], 1460)
+					ob.v.Egress(ob.data[f])
+					bumpSeq(ob.acks[f], 0)
+					ob.v.Ingress(ob.acks[f].Clone())
+				}
+			})
+		}
+	}
+}
+
 // baselineForward models what a plain vSwitch does per packet: validate and
 // parse the headers to make a forwarding decision.
 func baselineForward(p *packet.Packet) (uint16, uint16) {
@@ -287,7 +322,7 @@ func BenchmarkAblationPACKvsFACK(b *testing.B) {
 		f2 := workload.Bulk(m, 1, 2)
 		net.Sim.RunFor(80 * sim.Millisecond)
 		gb := float64(f1.Delivered()+f2.Delivered()) * 8 / net.Sim.Now().Seconds() / 1e9
-		return gb, float64(net.ACDC[2].Stats.FacksSent)
+		return gb, float64(net.ACDC[2].Stats().FacksSent)
 	}
 	for i := 0; i < b.N; i++ {
 		gPack, _ := run(false)
@@ -447,7 +482,7 @@ func TestOverheadBenchFixture(t *testing.T) {
 	if len(out) != 1 {
 		t.Fatal("ACK consumed unexpectedly")
 	}
-	if ob.v.Stats.PacksConsumed == 0 {
+	if ob.v.Stats().PacksConsumed == 0 {
 		t.Fatal("PACK not consumed")
 	}
 	var sm stats.Sample

@@ -128,6 +128,6 @@ func main() {
 	if !*noACDC {
 		v := net.ACDC[0]
 		fmt.Printf("\nAC/DC @h0: rewrites=%d packs-consumed=%d; @h1: packs-attached=%d\n",
-			v.Stats.RwndRewrites, v.Stats.PacksConsumed, net.ACDC[1].Stats.PacksAttached)
+			v.Stats().RwndRewrites, v.Stats().PacksConsumed, net.ACDC[1].Stats().PacksAttached)
 	}
 }

@@ -55,10 +55,10 @@ func main() {
 	v := net.ACDC[0]
 	fmt.Println("\nvSwitch view (host 0's AC/DC module):")
 	fmt.Printf("  flows tracked:        %d\n", v.Table.Len())
-	fmt.Printf("  RWND rewrites:        %d (enforcing the virtual DCTCP window)\n", v.Stats.RwndRewrites)
-	fmt.Printf("  PACK feedback recv'd: %d\n", v.Stats.PacksConsumed)
+	fmt.Printf("  RWND rewrites:        %d (enforcing the virtual DCTCP window)\n", v.Stats().RwndRewrites)
+	fmt.Printf("  PACK feedback recv'd: %d\n", v.Stats().PacksConsumed)
 	recvSide := net.ACDC[2]
-	fmt.Printf("  PACKs attached @recv: %d\n", recvSide.Stats.PacksAttached)
+	fmt.Printf("  PACKs attached @recv: %d\n", recvSide.Stats().PacksAttached)
 
 	sw := net.Switches[0]
 	fmt.Printf("\nfabric: CE marks=%d, drops=%d, max queue=%dB (threshold %dB)\n",

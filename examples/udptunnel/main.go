@@ -46,7 +46,7 @@ func run(tunnel bool) {
 		float64(tcp.Delivered())*8/secs/1e9,
 		float64(udpBytes)*8/secs/1e9,
 		net.TotalDrops(),
-		net.ACDC[1].Stats.PolicingDrops)
+		net.ACDC[1].Stats().PolicingDrops)
 }
 
 func main() {

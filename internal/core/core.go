@@ -1,6 +1,7 @@
 package core
 
 import (
+	"acdc/internal/metrics"
 	"acdc/internal/netsim"
 	"acdc/internal/sim"
 )
@@ -57,6 +58,11 @@ type Config struct {
 	// FlowPolicy assigns per-flow differentiation (β, clamps, algorithm);
 	// nil means DefaultPolicy for everything.
 	FlowPolicy func(FlowKey) Policy
+	// DisableMetrics skips creating the datapath metrics registry; every
+	// instrument update compiles to a nil-check branch. Exists for the
+	// overhead ablation (BenchmarkDatapathWithMetrics) — production
+	// deployments keep metrics on, which is the default.
+	DisableMetrics bool
 	// GCInterval/IdleTimeout drive the coarse-grained flow garbage
 	// collector (swept lazily from the datapath, §4).
 	GCInterval  sim.Duration
@@ -82,25 +88,17 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats counts datapath events.
-type Stats struct {
-	FlowsCreated, FlowsRemoved   int64
-	PacksAttached, FacksSent     int64
-	FacksConsumed, PacksConsumed int64
-	RwndRewrites, RwndUnchanged  int64
-	PolicingDrops                int64
-	VTimeouts, DupAcksGenerated  int64
-	UntrackedSegs                int64
-	EgressSegs, IngressSegs      int64
-}
-
 // VSwitch is one host's AC/DC datapath instance (the OVS modification).
 type VSwitch struct {
 	Sim   *sim.Simulator
 	Host  *netsim.Host
 	Cfg   Config
 	Table *Table
-	Stats Stats
+	// Metrics is the datapath observability layer: lock-free counters,
+	// gauges, and per-algorithm CWND/α histograms updated from the hot
+	// path. Read it via Metrics.Snapshot() or the Stats() convenience
+	// method. Nil instruments (Cfg.DisableMetrics) are no-ops.
+	Metrics *DatapathMetrics
 
 	// OnRwndComputed, when set, observes every computed enforcement window
 	// (flow, window bytes, whether the ACK's RWND was overwritten). Figures
@@ -134,7 +132,12 @@ func Attach(s *sim.Simulator, host *netsim.Host, cfg Config) *VSwitch {
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = 10 * sim.Second
 	}
-	v := &VSwitch{Sim: s, Host: host, Cfg: cfg, Table: NewTable()}
+	reg := metrics.NewRegistry()
+	if cfg.DisableMetrics {
+		reg = nil
+	}
+	v := &VSwitch{Sim: s, Host: host, Cfg: cfg, Table: NewTable(),
+		Metrics: NewDatapathMetrics(reg)}
 	host.Egress = v.Egress
 	host.Ingress = v.Ingress
 	return v
@@ -157,7 +160,8 @@ func (v *VSwitch) policy(k FlowKey) Policy {
 }
 
 func (v *VSwitch) newFlow(k FlowKey) *Flow {
-	v.Stats.FlowsCreated++
+	v.Metrics.FlowsCreated.Inc()
+	v.Metrics.FlowTableSize.Add(1)
 	pol := v.policy(k)
 	f := &Flow{
 		Key:    k,
@@ -166,6 +170,7 @@ func (v *VSwitch) newFlow(k FlowKey) *Flow {
 		Alpha:  v.Cfg.InitAlpha,
 	}
 	f.vcc = NewVCC(firstNonEmpty(pol.VCC, v.Cfg.VCC))
+	f.mCwnd, f.mAlpha = v.Metrics.flowHists(f.vcc.Name())
 	f.CwndBytes = v.Cfg.InitCwndPkts * float64(f.MSS)
 	f.SsthreshBytes = 1 << 40
 	f.vcc.Init(f)
@@ -213,7 +218,8 @@ func (v *VSwitch) maybeSweep() {
 		}
 		return true
 	})
-	v.Stats.FlowsRemoved += int64(removed)
+	v.Metrics.FlowsRemoved.Add(int64(removed))
+	v.Metrics.FlowTableSize.Add(-int64(removed))
 }
 
 func (f *Flow) stopTimer() {

@@ -89,13 +89,13 @@ func TestACDCEnforcesDCTCPOnCubicGuests(t *testing.T) {
 		t.Fatalf("utilization %.2f, want high", u)
 	}
 	sv := b.acdc[0]
-	if sv.Stats.RwndRewrites == 0 {
+	if sv.Stats().RwndRewrites == 0 {
 		t.Fatal("sender-side AC/DC never rewrote RWND")
 	}
-	if sv.Stats.PacksConsumed == 0 {
+	if sv.Stats().PacksConsumed == 0 {
 		t.Fatal("sender-side AC/DC never received PACK feedback")
 	}
-	if b.acdc[2].Stats.PacksAttached == 0 {
+	if b.acdc[2].Stats().PacksAttached == 0 {
 		t.Fatal("receiver-side AC/DC never attached PACKs")
 	}
 }
@@ -164,7 +164,7 @@ func TestFlowTableLifecycle(t *testing.T) {
 	c2 := b.stacks[0].Dial(b.hosts[1].Addr, 5002)
 	c2.Send(1 << 30)
 	b.s.RunFor(300 * sim.Millisecond)
-	if b.acdc[0].Stats.FlowsRemoved == 0 {
+	if b.acdc[0].Stats().FlowsRemoved == 0 {
 		t.Fatal("GC never removed the finished flow")
 	}
 }
@@ -293,7 +293,7 @@ func TestPolicingDropsNonConformingStack(t *testing.T) {
 	b.s.RunFor(50 * sim.Millisecond)
 	srv := *srvp
 	_ = srv2
-	if b.acdc[0].Stats.PolicingDrops == 0 && b.acdc[1].Stats.PolicingDrops == 0 {
+	if b.acdc[0].Stats().PolicingDrops == 0 && b.acdc[1].Stats().PolicingDrops == 0 {
 		t.Fatal("policing never dropped for an RWND-ignoring stack")
 	}
 	if srv.Delivered == 0 {
@@ -313,13 +313,13 @@ func TestFACKFallbackPath(t *testing.T) {
 	_, srvp := b.longFlow(t, 0, 1)
 	b.s.RunFor(50 * sim.Millisecond)
 	srv := *srvp
-	if b.acdc[1].Stats.FacksSent == 0 {
+	if b.acdc[1].Stats().FacksSent == 0 {
 		t.Fatal("no FACKs sent with PACK disabled")
 	}
-	if b.acdc[0].Stats.FacksConsumed == 0 {
+	if b.acdc[0].Stats().FacksConsumed == 0 {
 		t.Fatal("no FACKs consumed at the sender")
 	}
-	if b.acdc[0].Stats.PacksConsumed != 0 {
+	if b.acdc[0].Stats().PacksConsumed != 0 {
 		t.Fatal("PACKs seen despite DisablePACK")
 	}
 	if srv.Delivered == 0 {
@@ -347,7 +347,7 @@ func TestLogOnlyModeDoesNotEnforce(t *testing.T) {
 	if samples == 0 {
 		t.Fatal("no RWND samples in log-only mode")
 	}
-	if b.acdc[0].Stats.RwndRewrites != 0 {
+	if b.acdc[0].Stats().RwndRewrites != 0 {
 		t.Fatal("rewrites counted in log-only mode")
 	}
 }
@@ -369,7 +369,7 @@ func TestVTimeoutCollapsesWindow(t *testing.T) {
 		return nil // …but nothing reaches the wire, so ACKs stop
 	}
 	b.s.RunFor(20 * sim.Millisecond)
-	if b.acdc[0].Stats.VTimeouts == 0 {
+	if b.acdc[0].Stats().VTimeouts == 0 {
 		t.Fatal("inactivity timer never fired")
 	}
 	after := f.Snapshot().CwndBytes
@@ -397,7 +397,7 @@ func TestDupAckGeneration(t *testing.T) {
 	b.hosts[0].NIC.Policy = nil
 	b.s.RunFor(50 * sim.Millisecond)
 
-	if b.acdc[0].Stats.DupAcksGenerated == 0 {
+	if b.acdc[0].Stats().DupAcksGenerated == 0 {
 		t.Fatal("no synthesized dupacks")
 	}
 	if cli.FastRecoveries == 0 {
@@ -566,7 +566,7 @@ func TestDetachRestoresPassthrough(t *testing.T) {
 	if (*srvp).Delivered == 0 {
 		t.Fatal("no data after detach")
 	}
-	if b.acdc[0].Stats.EgressSegs != 0 {
+	if b.acdc[0].Stats().EgressSegs != 0 {
 		t.Fatal("detached vSwitch still processing")
 	}
 }

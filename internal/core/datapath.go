@@ -13,12 +13,13 @@ const OptFACK = 254
 // Egress is the vSwitch hook for packets leaving the guest stack (§4's
 // ovs_dp_process_packet on the transmit side).
 func (v *VSwitch) Egress(p *packet.Packet) []*packet.Packet {
-	v.Stats.EgressSegs++
+	v.Metrics.EgressSegs.Inc()
 	v.maybeSweep()
 	ip := p.IP()
 	if !ip.Valid() {
 		return []*packet.Packet{p}
 	}
+	v.Metrics.EgressBytes.Add(int64(p.IPLen()))
 	if ip.Protocol() == packet.ProtoUDP && v.Cfg.UDPTunnel {
 		return v.udpEgress(p)
 	}
@@ -62,6 +63,7 @@ func (v *VSwitch) Egress(p *packet.Packet) []*packet.Packet {
 		oip := out.IP()
 		if oip.ECN() == packet.NotECT {
 			oip.SetECN(packet.ECT0)
+			v.Metrics.ECTMarks.Inc()
 		}
 	}
 	if extra != nil {
@@ -69,6 +71,7 @@ func (v *VSwitch) Egress(p *packet.Packet) []*packet.Packet {
 			eip := extra.IP()
 			if eip.ECN() == packet.NotECT {
 				eip.SetECN(packet.ECT0)
+				v.Metrics.ECTMarks.Inc()
 			}
 		}
 		return []*packet.Packet{out, extra}
@@ -132,7 +135,7 @@ func (v *VSwitch) senderEgress(f *Flow, p *packet.Packet, t packet.TCP, syn bool
 				slack = 2 * int64(f.MSS)
 			}
 			if segEnd-f.SndUna > int64(allowance)+slack {
-				v.Stats.PolicingDrops++
+				v.Metrics.PolicingDrops.Inc()
 				return true
 			}
 		}
@@ -170,14 +173,14 @@ func (v *VSwitch) attachFeedback(rev *Flow, ack *packet.Packet) (out, extra *pac
 		packet.EncodePACK(opt[:], info)
 		if buf := packet.InsertTCPOption(ack.Buf, opt[:]); buf != nil {
 			ack.Buf = buf
-			v.Stats.PacksAttached++
+			v.Metrics.PacksAttached.Inc()
 			return ack, nil
 		}
 	}
 
 	// FACK fallback: a separate pure ACK carrying the feedback, consumed by
 	// the peer's sender module.
-	v.Stats.FacksSent++
+	v.Metrics.FacksSent.Inc()
 	t := ack.TCP()
 	ip := ack.IP()
 	var fopt [packet.PACKOptionLen]byte
@@ -208,12 +211,13 @@ func getU32(b []byte) uint32 {
 
 // Ingress is the vSwitch hook for packets arriving from the network.
 func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
-	v.Stats.IngressSegs++
+	v.Metrics.IngressSegs.Inc()
 	v.maybeSweep()
 	ip := p.IP()
 	if !ip.Valid() {
 		return []*packet.Packet{p}
 	}
+	v.Metrics.IngressBytes.Add(int64(p.IPLen()))
 	if ip.Protocol() == packet.ProtoUDP && v.Cfg.UDPTunnel {
 		return v.udpIngress(p)
 	}
@@ -248,7 +252,7 @@ func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
 					v.processFeedbackAndAck(f, p, t, info, true)
 				}
 			}
-			v.Stats.FacksConsumed++
+			v.Metrics.FacksConsumed.Inc()
 			return nil
 		}
 		if f := v.Table.Get(revKey); f != nil {
@@ -258,7 +262,7 @@ func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
 				if pi, ok := packet.ParsePACK(d); ok {
 					info = pi
 					havePack = true
-					v.Stats.PacksConsumed++
+					v.Metrics.PacksConsumed.Inc()
 				}
 			}
 			v.processFeedbackAndAck(f, p, t, info, havePack)
@@ -269,7 +273,7 @@ func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
 				t = ip.TCP()
 			}
 		} else {
-			v.Stats.UntrackedSegs++
+			v.Metrics.UntrackedSegs.Inc()
 		}
 	}
 
@@ -335,8 +339,10 @@ func (v *VSwitch) receiverIngress(f *Flow, p *packet.Packet, t packet.TCP, plen 
 	f.lastActive = v.Sim.Now()
 	if plen > 0 {
 		f.TotalBytes += uint32(plen)
+		v.Metrics.DataBytes.Add(plen)
 		if p.IP().ECN() == packet.CE {
 			f.MarkedBytes += uint32(plen)
+			v.Metrics.CEBytes.Add(plen)
 		}
 	}
 	if t.HasFlags(packet.FlagFIN) {
@@ -353,10 +359,12 @@ func (v *VSwitch) receiverIngress(f *Flow, p *packet.Packet, t packet.TCP, plen 
 		switch {
 		case !guestECN && ip.ECN() != packet.NotECT:
 			ip.SetECN(packet.NotECT)
+			v.Metrics.ECNStripped.Inc()
 		case guestECN && ip.ECN() == packet.CE:
 			// Hide CE so the guest's own loop (which would over-react or
 			// double-react) never triggers; AC/DC reacts instead.
 			ip.SetECN(packet.ECT0)
+			v.Metrics.ECNStripped.Inc()
 		}
 	}
 }
@@ -372,7 +380,9 @@ func (v *VSwitch) stripECN(p *packet.Packet, f *Flow) {
 	switch {
 	case !guestECN && ip.ECN() != packet.NotECT:
 		ip.SetECN(packet.NotECT)
+		v.Metrics.ECNStripped.Inc()
 	case guestECN && ip.ECN() == packet.CE:
 		ip.SetECN(packet.ECT0)
+		v.Metrics.ECNStripped.Inc()
 	}
 }

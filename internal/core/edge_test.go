@@ -62,8 +62,8 @@ func TestIngressAckWithoutFlowCountsUntracked(t *testing.T) {
 	if len(out) != 1 {
 		t.Fatal("untracked ACK should pass through")
 	}
-	if v.Stats.UntrackedSegs != 1 {
-		t.Fatalf("UntrackedSegs = %d", v.Stats.UntrackedSegs)
+	if v.Stats().UntrackedSegs != 1 {
+		t.Fatalf("UntrackedSegs = %d", v.Stats().UntrackedSegs)
 	}
 }
 
@@ -110,8 +110,8 @@ func TestFACKFallbackWhenOptionsFull(t *testing.T) {
 	if len(out) != 2 {
 		t.Fatalf("expected real ACK + FACK, got %d packets", len(out))
 	}
-	if v.Stats.FacksSent != 1 {
-		t.Fatalf("FacksSent = %d", v.Stats.FacksSent)
+	if v.Stats().FacksSent != 1 {
+		t.Fatalf("FacksSent = %d", v.Stats().FacksSent)
 	}
 	// The FACK carries the feedback under OptFACK.
 	fb := packet.FindOption(out[1].TCP().Options(), OptFACK)
@@ -139,7 +139,7 @@ func TestLazyGCSweepsIdleFlows(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		v.Egress(dataPkt(host.Addr, other, 7, 8, uint32(1000+i*100), 100))
 	}
-	if v.Stats.FlowsRemoved == 0 {
+	if v.Stats().FlowsRemoved == 0 {
 		t.Fatal("idle flow never swept")
 	}
 }
@@ -165,8 +165,8 @@ func TestPolicingSlackAllowsInFlightAfterCut(t *testing.T) {
 	if out := v.Egress(dataPkt(host.Addr, peer, 1, 2, 1000+500_000, 8960)); out != nil {
 		t.Fatal("excess data not policed")
 	}
-	if v.Stats.PolicingDrops != 1 {
-		t.Fatalf("PolicingDrops = %d", v.Stats.PolicingDrops)
+	if v.Stats().PolicingDrops != 1 {
+		t.Fatalf("PolicingDrops = %d", v.Stats().PolicingDrops)
 	}
 	_ = f
 }
@@ -300,7 +300,7 @@ func TestDupAckSynthesisTemplate(t *testing.T) {
 	v.Egress(dataPkt(host.Addr, peer, 1, 2, 1+8960, 8960))
 	s.RunFor(5 * sim.Millisecond)
 
-	if v.Stats.VTimeouts == 0 {
+	if v.Stats().VTimeouts == 0 {
 		t.Fatal("vTimeout never fired")
 	}
 	if len(delivered) < 3 {

@@ -30,7 +30,7 @@ func Example() {
 
 	fmt.Println("drops:", net.TotalDrops())
 	fmt.Println("queue bounded:", net.Switches[0].Port(2).Stats.MaxQueueBytes < 12*topo.DefaultMarkThreshold)
-	fmt.Println("windows enforced:", net.ACDC[0].Stats.RwndRewrites > 0)
+	fmt.Println("windows enforced:", net.ACDC[0].Stats().RwndRewrites > 0)
 	// Output:
 	// drops: 0
 	// queue bounded: true
@@ -55,6 +55,38 @@ func ExamplePolicy() {
 	}
 	fmt.Println(cfg.FlowPolicy(core.FlowKey{DPort: 9000}).Beta)
 	// Output: 0.25
+}
+
+// ExampleVSwitch_Stats reads the datapath observability layer after pushing
+// traffic: the quick Stats() view for assertions, and the full metrics
+// snapshot (counters, gauges, per-algorithm CWND/α histograms) for
+// operator-style reporting.
+func ExampleVSwitch_Stats() {
+	acdc := core.DefaultConfig()
+	net := topo.Star(3, topo.Options{
+		Guest: tcpstack.DefaultConfig(),
+		ACDC:  &acdc,
+		RED:   netsim.REDConfig{MarkThresholdBytes: topo.DefaultMarkThreshold},
+	})
+	m := workload.NewManager(net)
+	workload.Bulk(m, 0, 2)
+	workload.Bulk(m, 1, 2)
+	net.Sim.RunFor(50 * sim.Millisecond)
+
+	v := net.ACDC[0] // sender s1's vSwitch
+	snap := v.Metrics.Snapshot()
+	fmt.Println("segments flowed:", snap.Counter("egress_segments_total") > 0)
+	fmt.Println("stats match snapshot:", v.Stats().EgressSegs == snap.Counter("egress_segments_total"))
+	fmt.Println("flows tracked:", snap.Gauge("flow_table_size") > 0)
+	recv := net.ACDC[2].Metrics.Snapshot() // receiver's vSwitch saw CE marks
+	fmt.Println("fabric marked CE:", recv.Counter("rx_ce_bytes_total") > 0)
+	fmt.Println("cwnd sampled:", snap.Histograms["vcc_cwnd_bytes{alg=dctcp}"].Count > 0)
+	// Output:
+	// segments flowed: true
+	// stats match snapshot: true
+	// flows tracked: true
+	// fabric marked CE: true
+	// cwnd sampled: true
 }
 
 // ExampleVSwitch_Detach shows turning the module off at runtime — the host

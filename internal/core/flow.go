@@ -11,6 +11,7 @@ package core
 import (
 	"sync"
 
+	"acdc/internal/metrics"
 	"acdc/internal/packet"
 	"acdc/internal/sim"
 )
@@ -54,6 +55,9 @@ type Flow struct {
 
 	Policy Policy
 	vcc    VirtualCC
+	// Per-algorithm CWND/α distribution handles, resolved at flow setup
+	// and sampled once per RTT at each α update (nil when metrics are off).
+	mCwnd, mAlpha *metrics.Histogram
 
 	// --- handshake-learned ---
 	// PeerWScale is the window scale applied to the RWND field of ACKs

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync"
+
+	"acdc/internal/metrics"
+)
+
+// DatapathMetrics holds the pre-resolved instrument handles the vSwitch
+// datapath updates. Handles are resolved once at Attach time so the
+// Egress/Ingress hot path performs only branch-predictable nil checks and
+// lock-free atomic updates — never a registry lookup.
+//
+// Counter names follow the `*_total` convention; everything is visible via
+// Snapshot(), the text/JSON encoders in internal/metrics, and the telemetry
+// timelines internal/experiments records.
+type DatapathMetrics struct {
+	reg *metrics.Registry
+
+	// Packet and byte throughput through the two datapath hooks.
+	EgressSegs   *metrics.Counter // egress_segments_total
+	IngressSegs  *metrics.Counter // ingress_segments_total
+	EgressBytes  *metrics.Counter // egress_bytes_total (IP length of valid packets)
+	IngressBytes *metrics.Counter // ingress_bytes_total
+
+	// Receiver-module congestion accounting: payload bytes counted toward
+	// PACK feedback and the CE-marked subset. Their ratio is the fabric's
+	// observed CE fraction — the operator's signal for tuning K and G.
+	DataBytes *metrics.Counter // rx_data_bytes_total
+	CEBytes   *metrics.Counter // rx_ce_bytes_total
+
+	// ECN plumbing: packets stamped ECT on egress (§3.2 "mark all packets
+	// ECN-capable") and packets whose ECN field was rewritten before
+	// reaching the guest (CE hidden or ECT cleared).
+	ECTMarks    *metrics.Counter // ect_marked_total
+	ECNStripped *metrics.Counter // ecn_stripped_total
+
+	// Enforcement: RWND overwrites applied vs. left as-is (the ACK already
+	// carried a smaller window), and §3.3 policing drops.
+	RwndRewrites  *metrics.Counter // rwnd_rewrites_total
+	RwndUnchanged *metrics.Counter // rwnd_noop_total
+	PolicingDrops *metrics.Counter // policing_drops_total
+
+	// Feedback channel: PACK options piggybacked/consumed and dedicated
+	// FACK packets emitted/consumed. A high FACK share means ACK option
+	// space is tight (or DisablePACK is on) and the fabric is carrying
+	// extra feedback packets.
+	PacksAttached *metrics.Counter // packs_attached_total
+	PacksConsumed *metrics.Counter // packs_consumed_total
+	FacksSent     *metrics.Counter // facks_sent_total
+	FacksConsumed *metrics.Counter // facks_consumed_total
+
+	// Loss inference and recovery assists (§3.1, §3.3).
+	VTimeouts        *metrics.Counter // vtimeouts_total
+	DupAcksGenerated *metrics.Counter // dupacks_generated_total
+	UntrackedSegs    *metrics.Counter // untracked_segments_total
+
+	// Flow-table churn and size.
+	FlowsCreated  *metrics.Counter // flows_created_total
+	FlowsRemoved  *metrics.Counter // flows_removed_total
+	FlowTableSize *metrics.Gauge   // flow_table_size
+
+	// Per-algorithm CWND/α distributions, sampled once per RTT at each α
+	// update. Lazily created per virtual-CC name (not hot path: flow setup).
+	mu         sync.Mutex
+	cwndHists  map[string]*metrics.Histogram
+	alphaHists map[string]*metrics.Histogram
+}
+
+// cwndBounds covers sub-MSS floors up to the largest window the RWND field
+// can express under common scales, in powers of two.
+var cwndBounds = metrics.ExponentialBounds(2048, 2, 14) // 2KB .. 16MB
+
+// alphaBounds covers DCTCP's α ∈ [0,1] in 0.1 steps.
+var alphaBounds = metrics.LinearBounds(0.1, 0.1, 10)
+
+// NewDatapathMetrics resolves every instrument in reg. A nil reg yields
+// all-nil instruments, i.e. a datapath with metrics compiled to no-ops.
+func NewDatapathMetrics(reg *metrics.Registry) *DatapathMetrics {
+	return &DatapathMetrics{
+		reg:              reg,
+		EgressSegs:       reg.Counter("egress_segments_total"),
+		IngressSegs:      reg.Counter("ingress_segments_total"),
+		EgressBytes:      reg.Counter("egress_bytes_total"),
+		IngressBytes:     reg.Counter("ingress_bytes_total"),
+		DataBytes:        reg.Counter("rx_data_bytes_total"),
+		CEBytes:          reg.Counter("rx_ce_bytes_total"),
+		ECTMarks:         reg.Counter("ect_marked_total"),
+		ECNStripped:      reg.Counter("ecn_stripped_total"),
+		RwndRewrites:     reg.Counter("rwnd_rewrites_total"),
+		RwndUnchanged:    reg.Counter("rwnd_noop_total"),
+		PolicingDrops:    reg.Counter("policing_drops_total"),
+		PacksAttached:    reg.Counter("packs_attached_total"),
+		PacksConsumed:    reg.Counter("packs_consumed_total"),
+		FacksSent:        reg.Counter("facks_sent_total"),
+		FacksConsumed:    reg.Counter("facks_consumed_total"),
+		VTimeouts:        reg.Counter("vtimeouts_total"),
+		DupAcksGenerated: reg.Counter("dupacks_generated_total"),
+		UntrackedSegs:    reg.Counter("untracked_segments_total"),
+		FlowsCreated:     reg.Counter("flows_created_total"),
+		FlowsRemoved:     reg.Counter("flows_removed_total"),
+		FlowTableSize:    reg.Gauge("flow_table_size"),
+		cwndHists:        map[string]*metrics.Histogram{},
+		alphaHists:       map[string]*metrics.Histogram{},
+	}
+}
+
+// Registry exposes the backing registry (nil when metrics are disabled).
+func (m *DatapathMetrics) Registry() *metrics.Registry { return m.reg }
+
+// Snapshot returns a point-in-time copy of every datapath metric.
+func (m *DatapathMetrics) Snapshot() metrics.Snapshot { return m.reg.Snapshot() }
+
+// flowHists resolves the per-algorithm CWND/α histograms for a new flow.
+// Called from newFlow (flow setup, not per packet).
+func (m *DatapathMetrics) flowHists(alg string) (cwnd, alpha *metrics.Histogram) {
+	if m.reg == nil {
+		return nil, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cwnd = m.cwndHists[alg]
+	if cwnd == nil {
+		cwnd = m.reg.Histogram("vcc_cwnd_bytes{alg="+alg+"}", cwndBounds)
+		m.cwndHists[alg] = cwnd
+	}
+	alpha = m.alphaHists[alg]
+	if alpha == nil {
+		alpha = m.reg.Histogram("vcc_alpha{alg="+alg+"}", alphaBounds)
+		m.alphaHists[alg] = alpha
+	}
+	return cwnd, alpha
+}
+
+// Stats is a plain-value snapshot of the datapath event counters, kept for
+// ergonomic assertions and quick printing; the metrics registry is the
+// source of truth. Field names predate the metrics layer and are preserved.
+type Stats struct {
+	FlowsCreated, FlowsRemoved   int64
+	PacksAttached, FacksSent     int64
+	FacksConsumed, PacksConsumed int64
+	RwndRewrites, RwndUnchanged  int64
+	PolicingDrops                int64
+	VTimeouts, DupAcksGenerated  int64
+	UntrackedSegs                int64
+	EgressSegs, IngressSegs      int64
+}
+
+// Stats reads the current counter values into a Stats snapshot.
+func (v *VSwitch) Stats() Stats {
+	m := v.Metrics
+	return Stats{
+		FlowsCreated:     m.FlowsCreated.Value(),
+		FlowsRemoved:     m.FlowsRemoved.Value(),
+		PacksAttached:    m.PacksAttached.Value(),
+		FacksSent:        m.FacksSent.Value(),
+		FacksConsumed:    m.FacksConsumed.Value(),
+		PacksConsumed:    m.PacksConsumed.Value(),
+		RwndRewrites:     m.RwndRewrites.Value(),
+		RwndUnchanged:    m.RwndUnchanged.Value(),
+		PolicingDrops:    m.PolicingDrops.Value(),
+		VTimeouts:        m.VTimeouts.Value(),
+		DupAcksGenerated: m.DupAcksGenerated.Value(),
+		UntrackedSegs:    m.UntrackedSegs.Value(),
+		EgressSegs:       m.EgressSegs.Value(),
+		IngressSegs:      m.IngressSegs.Value(),
+	}
+}

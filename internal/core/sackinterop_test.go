@@ -91,7 +91,7 @@ func TestEndToEndSACKUnderACDC(t *testing.T) {
 	if cli.Timeouts != 0 {
 		t.Fatalf("RTO under AC/DC+SACK burst loss (%d)", cli.Timeouts)
 	}
-	if b.acdc[0].Stats.RwndRewrites == 0 {
+	if b.acdc[0].Stats().RwndRewrites == 0 {
 		t.Fatal("AC/DC idle")
 	}
 }

@@ -74,6 +74,10 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 		f.Alpha = (1-v.Cfg.G)*f.Alpha + v.Cfg.G*frac
 		f.windowTotal, f.windowMarked = 0, 0
 		f.alphaSeq = f.SndNxt
+		// Per-RTT distribution samples: the operator's view of where the
+		// fleet's virtual windows and congestion estimates sit.
+		f.mCwnd.Observe(f.CwndBytes)
+		f.mAlpha.Observe(f.Alpha)
 	}
 
 	// Cwnd validation: grow only while the flow actually uses the window
@@ -124,9 +128,9 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 		if uint16(field) < t.Window() {
 			t.SetWindow(uint16(field))
 			overwrote = true
-			v.Stats.RwndRewrites++
+			v.Metrics.RwndRewrites.Inc()
 		} else {
-			v.Stats.RwndUnchanged++
+			v.Metrics.RwndUnchanged.Inc()
 		}
 	}
 	return enforced, overwrote, true
@@ -177,7 +181,7 @@ func (v *VSwitch) onVTimeout(f *Flow) {
 		f.mu.Unlock()
 		return
 	}
-	v.Stats.VTimeouts++
+	v.Metrics.VTimeouts.Inc()
 	f.VTimeouts++
 	f.Alpha = v.Cfg.MaxAlpha
 	f.vcc.OnTimeout(f)
@@ -193,7 +197,7 @@ func (v *VSwitch) onVTimeout(f *Flow) {
 
 	if dup != nil {
 		for i := 0; i < 3; i++ {
-			v.Stats.DupAcksGenerated++
+			v.Metrics.DupAcksGenerated.Inc()
 			v.Host.DeliverLocal(dup.Clone())
 		}
 	}

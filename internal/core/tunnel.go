@@ -73,7 +73,7 @@ func (v *VSwitch) udpEgress(p *packet.Packet) []*packet.Packet {
 		f.tqBytes += int(size)
 		return nil
 	}
-	v.Stats.PolicingDrops++
+	v.Metrics.PolicingDrops.Inc()
 	return nil
 }
 
@@ -93,8 +93,10 @@ func (v *VSwitch) udpIngress(p *packet.Packet) []*packet.Packet {
 	}
 	f.lastActive = v.Sim.Now()
 	f.TotalBytes += uint32(p.IPLen())
+	v.Metrics.DataBytes.Add(int64(p.IPLen()))
 	if ip.ECN() == packet.CE {
 		f.MarkedBytes += uint32(p.IPLen())
+		v.Metrics.CEBytes.Add(int64(p.IPLen()))
 	}
 	needFb := f.TotalBytes-f.fbLastTotal >= udpFeedbackBytes ||
 		(ip.ECN() == packet.CE) != f.fbLastCE
@@ -103,12 +105,13 @@ func (v *VSwitch) udpIngress(p *packet.Packet) []*packet.Packet {
 		f.fbLastTotal = f.TotalBytes
 		f.fbLastCE = ip.ECN() == packet.CE
 		fb = v.buildUDPFeedbackLocked(f)
-		v.Stats.FacksSent++
+		v.Metrics.FacksSent.Inc()
 	}
 	f.mu.Unlock()
 
 	if v.Cfg.StripECN && ip.ECN() != packet.NotECT {
 		ip.SetECN(packet.NotECT) // guest datagram sockets never negotiated ECN
+		v.Metrics.ECNStripped.Inc()
 	}
 	if fb != nil {
 		v.Host.InjectToWire(fb)
@@ -161,6 +164,8 @@ func (v *VSwitch) processUDPFeedback(f *Flow, info packet.PACKInfo) {
 		f.Alpha = (1-v.Cfg.G)*f.Alpha + v.Cfg.G*frac
 		f.windowTotal, f.windowMarked = 0, 0
 		f.alphaSeq = f.SndNxt
+		f.mCwnd.Observe(f.CwndBytes)
+		f.mAlpha.Observe(f.Alpha)
 	}
 
 	cwndLimited := float64(f.maxInflight) >= f.CwndBytes-float64(f.MSS)
@@ -212,7 +217,7 @@ func (v *VSwitch) onUDPTimeout(f *Flow) {
 		f.mu.Unlock()
 		return
 	}
-	v.Stats.VTimeouts++
+	v.Metrics.VTimeouts.Inc()
 	f.VTimeouts++
 	f.Alpha = v.Cfg.MaxAlpha
 	f.vcc.OnTimeout(f)

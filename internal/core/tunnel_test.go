@@ -124,7 +124,7 @@ func TestUDPTunnelQueueBoundsAndDrops(t *testing.T) {
 	eps[0].Blast(net.Addr(2), 6000, 7000, 8960, 9e9, 100*sim.Millisecond)
 	eps[1].Blast(net.Addr(2), 6001, 7000, 8960, 9e9, 100*sim.Millisecond)
 	net.Sim.RunFor(110 * sim.Millisecond)
-	shed := net.ACDC[0].Stats.PolicingDrops + net.ACDC[1].Stats.PolicingDrops
+	shed := net.ACDC[0].Stats().PolicingDrops + net.ACDC[1].Stats().PolicingDrops
 	if shed == 0 {
 		t.Fatal("tunnels never shed excess load")
 	}

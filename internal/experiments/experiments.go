@@ -52,6 +52,10 @@ type Result struct {
 	Paper string
 	// Sections are formatted text blocks (tables, CDF summaries).
 	Sections []string
+	// Telemetry holds per-scheme datapath metrics timelines (fleet-wide
+	// vSwitch counters sampled on an interval; see telemetry.go). Rendered
+	// after Sections.
+	Telemetry []*Telemetry
 	// Metrics are headline numbers, used by tests and EXPERIMENTS.md.
 	Metrics map[string]float64
 }
@@ -66,6 +70,16 @@ func (r *Result) section(format string, args ...any) {
 
 func (r *Result) table(t *stats.Table) { r.Sections = append(r.Sections, t.String()) }
 
+// telemetry finalizes a recorder and attaches it to the result. nil (a run
+// without AC/DC vSwitches) is ignored, so call sites stay scheme-agnostic.
+func (r *Result) telemetry(tl *Telemetry) {
+	if tl == nil {
+		return
+	}
+	tl.Finish()
+	r.Telemetry = append(r.Telemetry, tl)
+}
+
 // String renders the full report.
 func (r *Result) String() string {
 	var b strings.Builder
@@ -76,6 +90,10 @@ func (r *Result) String() string {
 		if !strings.HasSuffix(s, "\n") {
 			b.WriteByte('\n')
 		}
+		b.WriteByte('\n')
+	}
+	for _, tl := range r.Telemetry {
+		b.WriteString(tl.String())
 		b.WriteByte('\n')
 	}
 	if len(r.Metrics) > 0 {

@@ -251,6 +251,17 @@ func TestFig18Shape(t *testing.T) {
 	if r.Metrics["acdc_47_fairness"] < 0.95 {
 		t.Errorf("AC/DC incast fairness %.3f", r.Metrics["acdc_47_fairness"])
 	}
+	// Datapath telemetry: deep incast must show the fabric marking CE and
+	// the vSwitches actively squeezing windows.
+	if r.Metrics["acdc_ce_fraction"] <= 0 {
+		t.Error("AC/DC incast telemetry shows zero CE fraction")
+	}
+	if r.Metrics["acdc_rwnd_rewrites"] <= 0 {
+		t.Error("AC/DC incast telemetry shows zero RWND rewrites")
+	}
+	if len(r.Telemetry) == 0 {
+		t.Error("fig18 recorded no telemetry")
+	}
 }
 
 func TestFig20Shape(t *testing.T) {

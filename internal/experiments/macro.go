@@ -44,8 +44,20 @@ func Fig18(cfg RunConfig) *Result {
 			net.Sim.RunFor(warm)
 			p.Start()
 			start := snapshotDelivered(flows)
+			// Record the datapath-metrics timeline at the deepest fan-in —
+			// the run where ECN marking and window squeezing peak.
+			var tl *Telemetry
+			if n == fanins[len(fanins)-1] {
+				tl = watchFleet(net, fmt.Sprintf("%s incast %d:1", scheme.Name, n), measure/6)
+			}
 			net.Sim.RunFor(measure)
 			p.Stop()
+			if tl != nil {
+				r.telemetry(tl)
+				key := schemeKey(scheme.Name)
+				r.Metrics[key+"_ce_fraction"] = tl.CEFraction()
+				r.Metrics[key+"_rwnd_rewrites"] = float64(tl.RwndRewrites())
+			}
 			rates := flowRates(flows, start, measure)
 			fair := stats.JainFairness(rates)
 			t.Row(n, mean(rates)*1000, fair,
@@ -93,8 +105,10 @@ func Fig20(cfg RunConfig) *Result {
 		net.Sim.RunFor(warm)
 		p.Start()
 		start := snapshotDelivered(flows)
+		tl := watchFleet(net, scheme.Name+" all-ports", measure/6)
 		net.Sim.RunFor(measure)
 		p.Stop()
+		r.telemetry(tl)
 		rates := flowRates(flows, start, measure)
 		fair := stats.JainFairness(rates)
 		t.Row(scheme.Name, mean(rates)*1000, fair,
@@ -119,7 +133,9 @@ func macroFCT(r *Result, cfg RunConfig, launch func(m *workload.Manager, fcts *w
 		m := workload.NewManager(net)
 		var fcts workload.FCTs
 		launch(m, &fcts)
+		tl := watchFleet(net, scheme.Name+" fct", runFor/8)
 		net.Sim.RunFor(runFor)
+		r.telemetry(tl)
 		t.Row(scheme.Name,
 			fcts.Mice.Percentile(50)/1e6, fcts.Mice.Percentile(99.9)/1e6,
 			fcts.Background.Percentile(50)/1e6, fcts.Background.Percentile(99.9)/1e6,

@@ -240,8 +240,10 @@ func Fig8(cfg RunConfig) *Result {
 		p := workload.NewProber(m, 0, 5)
 		p.Start()
 		start := snapshotDelivered(flows)
+		tl := watchFleet(net, scheme.Name+" dumbbell", measure/6)
 		net.Sim.RunFor(measure)
 		p.Stop()
+		r.telemetry(tl)
 		rates := flowRates(flows, start, measure)
 		t.Row(scheme.Name, mean(rates), stats.JainFairness(rates),
 			p.Samples.Percentile(50)/1e6, p.Samples.Percentile(99.9)/1e6, net.DropRate())

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"acdc/internal/sim"
+	"acdc/internal/tcpstack"
+	"acdc/internal/topo"
+	"acdc/internal/workload"
+)
+
+func TestTelemetryRecordsFleetMetrics(t *testing.T) {
+	t.Parallel()
+	scheme := SchemeACDC(9000, "cubic", tcpstack.ECNOff)
+	net := topo.Star(3, scheme.options(1))
+	m := workload.NewManager(net)
+	workload.Bulk(m, 0, 2)
+	workload.Bulk(m, 1, 2)
+
+	tl := watchFleet(net, "test", 10*sim.Millisecond)
+	if tl == nil {
+		t.Fatal("watchFleet returned nil for an AC/DC net")
+	}
+	net.Sim.RunFor(100 * sim.Millisecond)
+	tl.Finish()
+
+	if got := len(tl.Samples); got < 8 {
+		t.Fatalf("only %d samples after 10 ticks", got)
+	}
+	if len(tl.Times) != len(tl.Samples) {
+		t.Fatalf("times/samples mismatch: %d vs %d", len(tl.Times), len(tl.Samples))
+	}
+	if tl.Final.Counter("egress_segments_total") == 0 {
+		t.Error("no egress segments in final aggregate")
+	}
+	if tl.RwndRewrites() == 0 {
+		t.Error("no RWND rewrites recorded on a congested star")
+	}
+	if f := tl.CEFraction(); f <= 0 || f >= 1 {
+		t.Errorf("CE fraction %.3f outside (0,1) on a marking bottleneck", f)
+	}
+	// Cumulative samples must be monotone in every counter.
+	last := tl.Samples[len(tl.Samples)-1]
+	if last.Counter("egress_segments_total") > tl.Final.Counter("egress_segments_total") {
+		t.Error("final aggregate behind last sample")
+	}
+	for i := 1; i < len(tl.Samples); i++ {
+		if tl.Samples[i].Counter("egress_segments_total") < tl.Samples[i-1].Counter("egress_segments_total") {
+			t.Fatalf("sample %d not monotone", i)
+		}
+	}
+	out := tl.String()
+	for _, want := range []string{"telemetry [test]", "rwnd_rewrites_total", "final datapath metrics"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry render missing %q:\n%s", want, out)
+		}
+	}
+
+	// A baseline net without AC/DC yields a nil (and fully inert) recorder.
+	base := topo.Star(2, SchemeCUBIC(9000).options(1))
+	if tlNil := watchFleet(base, "none", sim.Millisecond); tlNil != nil {
+		t.Fatal("watchFleet should return nil without vSwitches")
+	}
+	var nilTL *Telemetry
+	nilTL.Finish()
+	if nilTL.String() != "" || nilTL.CEFraction() != 0 || nilTL.RwndRewrites() != 0 {
+		t.Error("nil Telemetry methods not inert")
+	}
+}

@@ -1,0 +1,238 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(41)
+	if v := c.Value(); v != 42 {
+		t.Fatalf("Value = %d, want 42", v)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("Counter not idempotent")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	g := NewRegistry().Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if v := g.Value(); v != 7 {
+		t.Fatalf("Value = %d, want 7", v)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("h", []float64{1, 2, 4})
+	for _, x := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(x)
+	}
+	s := h.snapshot()
+	// 0.5 and 1 land in bucket ≤1; 1.5 in ≤2; 3 in ≤4; 100 overflows.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 106 {
+		t.Fatalf("count=%d sum=%g", s.Count, s.Sum)
+	}
+	if m := s.Mean(); m != 106.0/5 {
+		t.Fatalf("mean = %g", m)
+	}
+	if q := s.Quantile(0.99); q != 4 {
+		t.Fatalf("p99 = %g, want overflow clamp 4", q)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewRegistry().Histogram("h", []float64{10, 20})
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // all in first bucket (0,10]
+	}
+	s := h.snapshot()
+	if q := s.Quantile(0.5); q != 5 {
+		t.Fatalf("p50 = %g, want midpoint 5", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+// TestConcurrentUpdates hammers every instrument type from many goroutines
+// while snapshots run — the -race guarantee the datapath relies on.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			h := r.Histogram("h", []float64{0.5, 1})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+				if i%1000 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counter("c"); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Gauge("g"); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Histograms["h"].Count; got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestNilSafety: a disabled datapath holds nil instruments; every operation
+// must be a cheap no-op.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if r.Names() != nil {
+		t.Fatal("nil registry Names must be nil")
+	}
+}
+
+func TestSnapshotDeltaAndMerge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkts")
+	c.Add(10)
+	prev := r.Snapshot()
+	c.Add(5)
+	d := r.Snapshot().Delta(prev)
+	if d.Counter("pkts") != 5 {
+		t.Fatalf("delta = %d, want 5", d.Counter("pkts"))
+	}
+
+	r2 := NewRegistry()
+	r2.Counter("pkts").Add(7)
+	r2.Gauge("flows").Set(3)
+	r2.Histogram("h", []float64{1}).Observe(0.5)
+	r3 := NewRegistry()
+	r3.Histogram("h", []float64{1}).Observe(2)
+	m := Merge(r.Snapshot(), r2.Snapshot(), r3.Snapshot())
+	if m.Counter("pkts") != 22 {
+		t.Fatalf("merged counter = %d, want 22", m.Counter("pkts"))
+	}
+	if m.Gauge("flows") != 3 {
+		t.Fatalf("merged gauge = %d, want 3", m.Gauge("flows"))
+	}
+	if h := m.Histograms["h"]; h.Count != 2 || h.Counts[1] != 1 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+}
+
+func TestEncoders(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("flows").Set(9)
+	r.Histogram("alpha", LinearBounds(0.1, 0.1, 10)).Observe(0.25)
+	s := r.Snapshot()
+
+	text := s.Text()
+	if !strings.Contains(text, "a_total 1\n") || !strings.Contains(text, "flows 9\n") {
+		t.Fatalf("text encoding missing lines:\n%s", text)
+	}
+	if strings.Index(text, "a_total") > strings.Index(text, "b_total") {
+		t.Fatalf("text encoding not sorted:\n%s", text)
+	}
+
+	raw, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter("b_total") != 2 || back.Histograms["alpha"].Count != 1 {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}
+
+func TestBoundsHelpers(t *testing.T) {
+	e := ExponentialBounds(2, 2, 4)
+	for i, w := range []float64{2, 4, 8, 16} {
+		if e[i] != w {
+			t.Fatalf("ExponentialBounds = %v", e)
+		}
+	}
+	l := LinearBounds(0.1, 0.1, 3)
+	for i, w := range []float64{0.1, 0.2, 0.3} {
+		if diff := l[i] - w; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("LinearBounds = %v", l)
+		}
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", ExponentialBounds(4096, 2, 12))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 100000))
+	}
+}

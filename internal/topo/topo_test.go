@@ -111,7 +111,7 @@ func TestACDCAttachmentViaOptions(t *testing.T) {
 	if got := xfer(t, n, 0, 1, 200_000, 20*sim.Millisecond); got != 200_000 {
 		t.Fatalf("delivered %d with AC/DC attached", got)
 	}
-	if n.ACDC[0].Stats.EgressSegs == 0 {
+	if n.ACDC[0].Stats().EgressSegs == 0 {
 		t.Fatal("AC/DC datapath idle")
 	}
 }
