@@ -7,15 +7,21 @@
 //	acdcsim -all               run the whole registry
 //	acdcsim -long fig14        closer-to-paper durations (~10×)
 //	acdcsim -seed 7 fig1       change the simulation seed
+//	acdcsim -faults loss fig8  inject a named fault profile (chaos run)
+//	acdcsim -faults drop=0.01,jitter=50us fig8
+//
+// Run `acdcsim -faults help` to list the built-in profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"acdc/internal/experiments"
+	"acdc/internal/faults"
 )
 
 func main() {
@@ -23,7 +29,27 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	long := flag.Bool("long", false, "run closer-to-paper durations (~10x)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	faultSpec := flag.String("faults", "", "fault profile: a built-in name or k=v list (`help` to list)")
 	flag.Parse()
+
+	var prof *faults.Profile
+	if *faultSpec != "" {
+		if *faultSpec == "help" {
+			fmt.Println("built-in fault profiles:")
+			for _, name := range faults.Names() {
+				p, _ := faults.Lookup(name)
+				fmt.Printf("  %-14s %s\n", name, p.String())
+			}
+			fmt.Println("or a comma-separated k=v list: drop=0.01,reorder=0.02,jitter=50us,...")
+			return
+		}
+		p, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acdcsim: bad -faults %q: %v\n", *faultSpec, err)
+			os.Exit(2)
+		}
+		prof = &p
+	}
 
 	if *list {
 		for _, e := range experiments.Registry {
@@ -40,12 +66,18 @@ func main() {
 		}
 	}
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: acdcsim [-long] [-seed N] (-list | -all | <experiment-id>...)")
+		fmt.Fprintln(os.Stderr, "usage: acdcsim [-long] [-seed N] [-faults P] (-list | -all | <experiment-id>...)")
 		fmt.Fprintln(os.Stderr, "run `acdcsim -list` for available experiments")
 		os.Exit(2)
 	}
 
-	cfg := experiments.RunConfig{Long: *long, Seed: *seed}
+	cfg := experiments.RunConfig{Long: *long, Seed: *seed, Faults: prof}
+	if prof != nil && prof.Enabled() {
+		// Announce chaos runs up front (and only then, so fault-free output
+		// is byte-identical to a build without the flag).
+		fmt.Printf("fault injection: %s (seed %d) on %s\n\n",
+			prof.String(), *seed, strings.Join(ids, " "))
+	}
 	exit := 0
 	for _, id := range ids {
 		e := experiments.ByID(id)

@@ -67,6 +67,17 @@ type Config struct {
 	// collector (swept lazily from the datapath, §4).
 	GCInterval  sim.Duration
 	IdleTimeout sim.Duration
+	// MaxFlows bounds the flow table (the paper's ~320B/flow budget implies
+	// a real capacity). 0 means unbounded. At capacity the datapath first
+	// evicts closed/idle flows; if none qualify, the new flow is not tracked
+	// and its packets pass through unmodified (fail-open, never dropped).
+	MaxFlows int
+	// SweepInterval, when >0, runs the garbage collector on a sim-clock
+	// timer in addition to the lazy packet-driven sweep, so idle flows are
+	// evicted even when the datapath goes quiet. The timer only stays armed
+	// while the table is non-empty, so drained simulations still terminate.
+	// 0 (default) keeps the pre-existing lazy-only behavior.
+	SweepInterval sim.Duration
 }
 
 // DefaultConfig returns the paper's settings: DCTCP in the vSwitch, ECT
@@ -105,8 +116,9 @@ type VSwitch struct {
 	// 9 and 10 are built on this hook.
 	OnRwndComputed func(f *Flow, rwndBytes int64, overwrote bool)
 
-	lastSweep sim.Time
-	sweepTick int
+	lastSweep  sim.Time
+	sweepTick  int
+	sweepTimer *sim.Timer // armed only when Cfg.SweepInterval > 0
 }
 
 // Attach creates an AC/DC module on host and installs its datapath hooks.
@@ -138,6 +150,9 @@ func Attach(s *sim.Simulator, host *netsim.Host, cfg Config) *VSwitch {
 	}
 	v := &VSwitch{Sim: s, Host: host, Cfg: cfg, Table: NewTable(),
 		Metrics: NewDatapathMetrics(reg)}
+	if cfg.SweepInterval > 0 {
+		v.sweepTimer = sim.NewTimer(s, v.onSweepTick)
+	}
 	host.Egress = v.Egress
 	host.Ingress = v.Ingress
 	return v
@@ -159,6 +174,53 @@ func (v *VSwitch) policy(k FlowKey) Policy {
 	return v.Cfg.FlowPolicy(k)
 }
 
+// flowFor is the capacity-aware GetOrCreate every datapath create site goes
+// through. At MaxFlows it first evicts closed/idle entries; if the table is
+// still full the flow is not tracked and the caller must pass the packet
+// through unmodified (fail-open — a full table must never drop traffic).
+func (v *VSwitch) flowFor(k FlowKey) *Flow {
+	if v.Cfg.MaxFlows > 0 {
+		if f := v.Table.Get(k); f != nil {
+			return f
+		}
+		if v.Table.Len() >= v.Cfg.MaxFlows {
+			v.evictForPressure()
+			if v.Table.Len() >= v.Cfg.MaxFlows {
+				v.Metrics.FlowTableFull.Inc()
+				v.Metrics.FailOpen.Inc()
+				return nil
+			}
+		}
+	}
+	f, _ := v.Table.GetOrCreate(k, func() *Flow { return v.newFlow(k) })
+	return f
+}
+
+// evictForPressure frees table space at capacity: closed flows go
+// immediately, idle ones after GCInterval (a much tighter deadline than the
+// ordinary IdleTimeout — under pressure, idleness is eviction).
+func (v *VSwitch) evictForPressure() {
+	now := v.Sim.Now()
+	removed := v.Table.Sweep(func(f *Flow) bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.finFwd && f.finRev {
+			f.stopTimer()
+			return false
+		}
+		if now-f.lastActive > v.Cfg.GCInterval {
+			f.stopTimer()
+			return false
+		}
+		return true
+	})
+	if removed > 0 {
+		v.Metrics.FlowsEvicted.Add(int64(removed))
+		v.Metrics.FlowsRemoved.Add(int64(removed))
+		v.Metrics.FlowTableSize.Add(-int64(removed))
+	}
+}
+
 func (v *VSwitch) newFlow(k FlowKey) *Flow {
 	v.Metrics.FlowsCreated.Inc()
 	v.Metrics.FlowTableSize.Add(1)
@@ -175,6 +237,9 @@ func (v *VSwitch) newFlow(k FlowKey) *Flow {
 	f.SsthreshBytes = 1 << 40
 	f.vcc.Init(f)
 	f.lastActive = v.Sim.Now()
+	if v.sweepTimer != nil {
+		v.sweepTimer.ArmIfIdle(v.Cfg.SweepInterval)
+	}
 	return f
 }
 
@@ -205,6 +270,12 @@ func (v *VSwitch) maybeSweep() {
 		return
 	}
 	v.lastSweep = now
+	v.sweepNow(now)
+}
+
+// sweepNow removes closed and idle flows; shared by the lazy packet-driven
+// sweep and the SweepInterval timer.
+func (v *VSwitch) sweepNow(now sim.Time) {
 	removed := v.Table.Sweep(func(f *Flow) bool {
 		f.mu.Lock()
 		defer f.mu.Unlock()
@@ -220,6 +291,18 @@ func (v *VSwitch) maybeSweep() {
 	})
 	v.Metrics.FlowsRemoved.Add(int64(removed))
 	v.Metrics.FlowTableSize.Add(-int64(removed))
+}
+
+// onSweepTick is the SweepInterval timer body: sweep, then stay armed only
+// while there are flows left to watch (an empty table lets the event queue
+// drain and the simulation end).
+func (v *VSwitch) onSweepTick() {
+	now := v.Sim.Now()
+	v.lastSweep = now
+	v.sweepNow(now)
+	if v.Table.Len() > 0 {
+		v.sweepTimer.Reset(v.Cfg.SweepInterval)
+	}
 }
 
 func (f *Flow) stopTimer() {

@@ -17,6 +17,7 @@ func (v *VSwitch) Egress(p *packet.Packet) []*packet.Packet {
 	v.maybeSweep()
 	ip := p.IP()
 	if !ip.Valid() {
+		v.Metrics.FailOpen.Inc()
 		return []*packet.Packet{p}
 	}
 	v.Metrics.EgressBytes.Add(int64(p.IPLen()))
@@ -28,6 +29,14 @@ func (v *VSwitch) Egress(p *packet.Packet) []*packet.Packet {
 	}
 	t := ip.TCP()
 	if !t.Valid() {
+		v.Metrics.FailOpen.Inc()
+		return []*packet.Packet{p}
+	}
+	if !packet.OptionsWellFormed(t.Options()) {
+		// Damaged option block: acting on a partial parse could corrupt flow
+		// state, so the segment passes through untouched.
+		v.Metrics.MalformedOptions.Inc()
+		v.Metrics.FailOpen.Inc()
 		return []*packet.Packet{p}
 	}
 
@@ -40,7 +49,7 @@ func (v *VSwitch) Egress(p *packet.Packet) []*packet.Packet {
 	// --- sender module: track our data direction ---
 	var fwd *Flow
 	if syn || plen > 0 || t.HasFlags(packet.FlagFIN) {
-		fwd, _ = v.Table.GetOrCreate(fwdKey, func() *Flow { return v.newFlow(fwdKey) })
+		fwd = v.flowFor(fwdKey)
 	} else {
 		fwd = v.Table.Get(fwdKey)
 	}
@@ -215,6 +224,7 @@ func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
 	v.maybeSweep()
 	ip := p.IP()
 	if !ip.Valid() {
+		v.Metrics.FailOpen.Inc()
 		return []*packet.Packet{p}
 	}
 	v.Metrics.IngressBytes.Add(int64(p.IPLen()))
@@ -226,6 +236,12 @@ func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
 	}
 	t := ip.TCP()
 	if !t.Valid() {
+		v.Metrics.FailOpen.Inc()
+		return []*packet.Packet{p}
+	}
+	if !packet.OptionsWellFormed(t.Options()) {
+		v.Metrics.MalformedOptions.Inc()
+		v.Metrics.FailOpen.Inc()
 		return []*packet.Packet{p}
 	}
 
@@ -281,7 +297,7 @@ func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
 	if plen > 0 || t.HasFlags(packet.FlagFIN) || syn {
 		f := v.Table.Get(fwdKey)
 		if f == nil && (plen > 0 || t.HasFlags(packet.FlagFIN)) {
-			f, _ = v.Table.GetOrCreate(fwdKey, func() *Flow { return v.newFlow(fwdKey) })
+			f = v.flowFor(fwdKey)
 		}
 		if f != nil {
 			v.receiverIngress(f, p, t, plen)
@@ -300,7 +316,10 @@ func (v *VSwitch) ingressHandshake(p *packet.Packet, t packet.TCP, fwdKey, revKe
 	so := packet.ParseSynOptions(t.Options())
 	// The peer's SYN/SYN-ACK announces the scale applied to the RWND fields
 	// of the ACKs the peer will send — which our sender module rewrites.
-	rev, _ := v.Table.GetOrCreate(revKey, func() *Flow { return v.newFlow(revKey) })
+	rev := v.flowFor(revKey)
+	if rev == nil {
+		return
+	}
 	rev.mu.Lock()
 	if so.WScaleOK {
 		rev.PeerWScale = so.WScale
@@ -320,7 +339,10 @@ func (v *VSwitch) ingressHandshake(p *packet.Packet, t packet.TCP, fwdKey, revKe
 	rev.lastActive = v.Sim.Now()
 	rev.mu.Unlock()
 
-	fwd, _ := v.Table.GetOrCreate(fwdKey, func() *Flow { return v.newFlow(fwdKey) })
+	fwd := v.flowFor(fwdKey)
+	if fwd == nil {
+		return
+	}
 	fwd.mu.Lock()
 	if t.HasFlags(packet.FlagACK) {
 		fwd.GuestECN = t.HasFlags(packet.FlagECE)

@@ -90,6 +90,11 @@ type Flow struct {
 	lastAckWire               uint32 // last ACK's seq field (dupack synthesis)
 	VTimeouts                 int64
 	LossEvents                int64
+	// Feedback-staleness tracking: when PACK/FACK feedback had been flowing
+	// but stops (stripped by a middlebox, lost in the fabric), the sender
+	// module freezes virtual-window growth rather than growing blind.
+	lastFeedbackAt sim.Time // 0 until the first PACK/FACK arrives
+	fbStaleMark    sim.Time // last time the stale condition was counted
 
 	// --- receiver module (§3.2) ---
 	TotalBytes  uint32 // cumulative payload bytes received

@@ -60,6 +60,16 @@ type DatapathMetrics struct {
 	FlowsRemoved  *metrics.Counter // flows_removed_total
 	FlowTableSize *metrics.Gauge   // flow_table_size
 
+	// Degradation paths. These are lazy: they join the registry (and thus
+	// snapshots, text encodings, and golden outputs) only when the event
+	// actually fires, so a healthy run's telemetry is byte-identical to one
+	// recorded before the fault machinery existed.
+	FailOpen         *metrics.LazyCounter // fail_open_total: packets passed through untouched because the datapath could not safely process them
+	MalformedOptions *metrics.LazyCounter // malformed_options_total: TCP option blocks that failed validation
+	FlowTableFull    *metrics.LazyCounter // flow_table_full_total: flow creations refused at MaxFlows
+	FlowsEvicted     *metrics.LazyCounter // flows_evicted_total: flows removed by capacity-pressure eviction
+	FeedbackTimeouts *metrics.LazyCounter // feedback_timeouts_total: ACKs processed while PACK/FACK feedback was stale
+
 	// Per-algorithm CWND/α distributions, sampled once per RTT at each α
 	// update. Lazily created per virtual-CC name (not hot path: flow setup).
 	mu         sync.Mutex
@@ -100,6 +110,11 @@ func NewDatapathMetrics(reg *metrics.Registry) *DatapathMetrics {
 		FlowsCreated:     reg.Counter("flows_created_total"),
 		FlowsRemoved:     reg.Counter("flows_removed_total"),
 		FlowTableSize:    reg.Gauge("flow_table_size"),
+		FailOpen:         reg.Lazy("fail_open_total"),
+		MalformedOptions: reg.Lazy("malformed_options_total"),
+		FlowTableFull:    reg.Lazy("flow_table_full_total"),
+		FlowsEvicted:     reg.Lazy("flows_evicted_total"),
+		FeedbackTimeouts: reg.Lazy("feedback_timeouts_total"),
 		cwndHists:        map[string]*metrics.Histogram{},
 		alphaHists:       map[string]*metrics.Histogram{},
 	}
@@ -144,6 +159,9 @@ type Stats struct {
 	VTimeouts, DupAcksGenerated  int64
 	UntrackedSegs                int64
 	EgressSegs, IngressSegs      int64
+	FailOpen, MalformedOptions   int64
+	FlowTableFull, FlowsEvicted  int64
+	FeedbackTimeouts             int64
 }
 
 // Stats reads the current counter values into a Stats snapshot.
@@ -164,5 +182,10 @@ func (v *VSwitch) Stats() Stats {
 		UntrackedSegs:    m.UntrackedSegs.Value(),
 		EgressSegs:       m.EgressSegs.Value(),
 		IngressSegs:      m.IngressSegs.Value(),
+		FailOpen:         m.FailOpen.Value(),
+		MalformedOptions: m.MalformedOptions.Value(),
+		FlowTableFull:    m.FlowTableFull.Value(),
+		FlowsEvicted:     m.FlowsEvicted.Value(),
+		FeedbackTimeouts: m.FeedbackTimeouts.Value(),
 	}
 }

@@ -27,6 +27,7 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 	}
 
 	// Feedback deltas (cumulative counters; uint32 wraparound-safe).
+	now := v.Sim.Now()
 	var totalDelta, markedDelta uint32
 	if haveFeedback {
 		totalDelta = info.TotalBytes - f.lastTotal
@@ -35,6 +36,22 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 		f.lastMarked = info.MarkedBytes
 		f.windowTotal += totalDelta
 		f.windowMarked += markedDelta
+		f.lastFeedbackAt = now
+		f.fbStaleMark = 0
+	}
+
+	// Feedback staleness: the peer's receiver module had been reporting but
+	// has gone quiet for a virtual timeout (PACK stripped by a middlebox,
+	// FACKs lost). The CE signal is gone, so growth on these blind ACKs
+	// would open the window into a possibly congested fabric — freeze it and
+	// let the vtimeout/loss machinery handle anything worse. Flows that
+	// never saw feedback (one-sided, baseline, non-AC/DC peer) are exempt:
+	// for them growth on plain ACKs is the normal mode.
+	fbStale := !haveFeedback && f.lastFeedbackAt > 0 &&
+		now-f.lastFeedbackAt > v.Cfg.VTimeout
+	if fbStale && now-f.fbStaleMark > v.Cfg.VTimeout {
+		f.fbStaleMark = now
+		v.Metrics.FeedbackTimeouts.Inc()
 	}
 
 	absAck := f.absSeq(t.Ack(), f.SndUna)
@@ -70,6 +87,9 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 		var frac float64
 		if f.windowTotal > 0 {
 			frac = float64(f.windowMarked) / float64(f.windowTotal)
+			if frac > 1 { // corrupt feedback: marked can't exceed total
+				frac = 1
+			}
 		}
 		f.Alpha = (1-v.Cfg.G)*f.Alpha + v.Cfg.G*frac
 		f.windowTotal, f.windowMarked = 0, 0
@@ -109,7 +129,7 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 			// DCTCP still grows between cuts within the window guard.
 			f.vcc.OnAck(f, acked)
 		}
-	case acked > 0 && cwndLimited:
+	case acked > 0 && cwndLimited && !fbStale:
 		f.vcc.OnAck(f, acked)
 	}
 	v.clampFlow(f)

@@ -37,10 +37,15 @@ func (v *VSwitch) udpEgress(p *packet.Packet) []*packet.Packet {
 		return []*packet.Packet{p}
 	}
 	key := FlowKey{Src: ip.Src(), Dst: ip.Dst(), SPort: u.SrcPort(), DPort: u.DstPort()}
-	f, created := v.Table.GetOrCreate(key, func() *Flow { return v.newFlow(key) })
+	f := v.flowFor(key)
+	if f == nil {
+		// Table full: the tunnel cannot admit-control this datagram, so it
+		// passes through unwindowed rather than being dropped.
+		return []*packet.Packet{p}
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if created || !f.issValid {
+	if !f.issValid {
 		f.isUDP = true
 		f.issValid = true
 		// Tunnel accounting is in IP-length bytes, so the "MSS" (window
@@ -86,11 +91,17 @@ func (v *VSwitch) udpIngress(p *packet.Packet) []*packet.Packet {
 		return []*packet.Packet{p}
 	}
 	key := FlowKey{Src: ip.Src(), Dst: ip.Dst(), SPort: u.SrcPort(), DPort: u.DstPort()}
-	f, created := v.Table.GetOrCreate(key, func() *Flow { return v.newFlow(key) })
-	f.mu.Lock()
-	if created {
-		f.isUDP = true
+	f := v.flowFor(key)
+	if f == nil {
+		// Table full: deliver uncounted (no feedback stream for this flow).
+		if v.Cfg.StripECN && ip.ECN() != packet.NotECT {
+			ip.SetECN(packet.NotECT)
+			v.Metrics.ECNStripped.Inc()
+		}
+		return []*packet.Packet{p}
 	}
+	f.mu.Lock()
+	f.isUDP = true
 	f.lastActive = v.Sim.Now()
 	f.TotalBytes += uint32(p.IPLen())
 	v.Metrics.DataBytes.Add(int64(p.IPLen()))
@@ -160,6 +171,9 @@ func (v *VSwitch) processUDPFeedback(f *Flow, info packet.PACKInfo) {
 		var frac float64
 		if f.windowTotal > 0 {
 			frac = float64(f.windowMarked) / float64(f.windowTotal)
+			if frac > 1 { // corrupt feedback: marked can't exceed total
+				frac = 1
+			}
 		}
 		f.Alpha = (1-v.Cfg.G)*f.Alpha + v.Cfg.G*frac
 		f.windowTotal, f.windowMarked = 0, 0

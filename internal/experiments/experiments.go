@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"acdc/internal/core"
+	"acdc/internal/faults"
 	"acdc/internal/netsim"
 	"acdc/internal/sim"
 	"acdc/internal/stats"
@@ -27,6 +28,11 @@ type RunConfig struct {
 	Long bool
 	// Seed seeds all randomness.
 	Seed int64
+	// Faults, when non-nil and enabled, installs the fault profile on every
+	// link of every topology the experiment builds (chaos runs). nil or a
+	// disabled profile leaves the fault-free code path untouched, so default
+	// runs stay byte-identical.
+	Faults *faults.Profile
 }
 
 func (c RunConfig) seed() int64 {
@@ -201,8 +207,14 @@ func ThreeSchemes(mtu int) []Scheme {
 	return []Scheme{SchemeCUBIC(mtu), SchemeDCTCP(mtu), SchemeACDC(mtu, "cubic", tcpstack.ECNOff)}
 }
 
-func (s Scheme) options(seed int64) topo.Options {
-	return topo.Options{Guest: s.Guest, ACDC: s.ACDC, RED: s.RED, Seed: seed}
+func (s Scheme) options(cfg RunConfig, seed int64) topo.Options {
+	return topo.Options{
+		Guest: s.Guest, ACDC: s.ACDC, RED: s.RED, Seed: seed,
+		// FaultSeed pins the chaos mix to the run seed even when an
+		// experiment perturbs the per-topology seed (e.g. per-iteration
+		// seed offsets), so one -faults run replays deterministically.
+		Faults: cfg.Faults, FaultSeed: cfg.seed(),
+	}
 }
 
 // --- shared measurement helpers ---

@@ -30,7 +30,7 @@ func Fig18(cfg RunConfig) *Result {
 		for _, n := range fanins {
 			// n senders, 1 receiver, plus 1 prober host through the same
 			// congested downlink.
-			net := topo.Star(n+2, scheme.options(cfg.seed()+int64(n)))
+			net := topo.Star(n+2, scheme.options(cfg, cfg.seed()+int64(n)))
 			m := workload.NewManager(net)
 			senders := make([]int, n)
 			for i := range senders {
@@ -90,7 +90,7 @@ func Fig20(cfg RunConfig) *Result {
 	warm, measure := cfg.scale(100*sim.Millisecond), cfg.scale(200*sim.Millisecond)
 	t := stats.NewTable("scheme", "avg flow Mbps", "fairness", "RTT p50 ms", "RTT p99 ms", "RTT p99.9 ms", "drop %")
 	for _, scheme := range ThreeSchemes(9000) {
-		net := topo.Star(groupA+2, scheme.options(cfg.seed()))
+		net := topo.Star(groupA+2, scheme.options(cfg, cfg.seed()))
 		m := workload.NewManager(net)
 		b1, b2 := groupA, groupA+1
 		var flows []*workload.Messenger
@@ -129,7 +129,7 @@ func Fig20(cfg RunConfig) *Result {
 func macroFCT(r *Result, cfg RunConfig, launch func(m *workload.Manager, fcts *workload.FCTs), runFor sim.Duration) {
 	t := stats.NewTable("scheme", "mice p50 ms", "mice p99.9 ms", "bg p50 ms", "bg p99.9 ms", "mice n", "bg n")
 	for _, scheme := range ThreeSchemes(9000) {
-		net := topo.Star(17, scheme.options(cfg.seed()))
+		net := topo.Star(17, scheme.options(cfg, cfg.seed()))
 		m := workload.NewManager(net)
 		var fcts workload.FCTs
 		launch(m, &fcts)

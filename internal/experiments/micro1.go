@@ -21,7 +21,7 @@ var fig1CCs = []string{"illinois", "cubic", "reno", "vegas", "highspeed"}
 func runDumbbellOnce(scheme Scheme, senderCC []string, cfg RunConfig, testSeed int64,
 	warm, measure sim.Duration) ([]float64, *topo.Net) {
 	pairs := len(senderCC)
-	o := scheme.options(testSeed)
+	o := scheme.options(cfg, testSeed)
 	if senderCC != nil {
 		base := scheme.Guest
 		o.GuestFor = func(h int) *tcpstack.Config {
@@ -142,7 +142,7 @@ func Fig2(cfg RunConfig) *Result {
 // sender's uplink passes a 2 Gbps token-bucket limiter with a 2MB buffer
 // (a hardware rate limiter's queue).
 func runDumbbellRTT(scheme Scheme, cfg RunConfig, warm, measure sim.Duration, shaped bool) *stats.Sample {
-	net := topo.Dumbbell(5, scheme.options(cfg.seed()))
+	net := topo.Dumbbell(5, scheme.options(cfg, cfg.seed()))
 	if shaped {
 		for i := 0; i < 5; i++ {
 			nic := net.Hosts[i].NIC
@@ -234,7 +234,7 @@ func Fig8(cfg RunConfig) *Result {
 	warm, measure := cfg.scale(100*sim.Millisecond), cfg.scale(300*sim.Millisecond)
 	t := stats.NewTable("scheme", "avg Gbps", "fairness", "RTT p50 ms", "RTT p99.9 ms", "drop rate")
 	for _, scheme := range ThreeSchemes(9000) {
-		net := topo.Dumbbell(5, scheme.options(cfg.seed()))
+		net := topo.Dumbbell(5, scheme.options(cfg, cfg.seed()))
 		m, flows := dumbbellFlows(net, 5)
 		net.Sim.RunFor(warm)
 		p := workload.NewProber(m, 0, 5)
@@ -278,7 +278,7 @@ func ParkingLot(cfg RunConfig) *Result {
 	warm, measure := cfg.scale(100*sim.Millisecond), cfg.scale(300*sim.Millisecond)
 	t := stats.NewTable("scheme", "avg Gbps", "fairness", "RTT p50 ms", "RTT p99.9 ms")
 	for _, scheme := range ThreeSchemes(9000) {
-		net := topo.ParkingLot(scheme.options(cfg.seed()))
+		net := topo.ParkingLot(scheme.options(cfg, cfg.seed()))
 		m := workload.NewManager(net)
 		flows := make([]*workload.Messenger, 5)
 		for i := 0; i < 5; i++ {

@@ -26,7 +26,7 @@ func Fig9(cfg RunConfig) *Result {
 	scheme.ACDC = &ac
 	scheme.Name = "DCTCP+log"
 
-	net := topo.Dumbbell(5, scheme.options(cfg.seed()))
+	net := topo.Dumbbell(5, scheme.options(cfg, cfg.seed()))
 	m := workload.NewManager(net)
 	flows := make([]*workload.Messenger, 5)
 	for i := 0; i < 5; i++ {
@@ -80,7 +80,7 @@ func Fig10(cfg RunConfig) *Result {
 	r := newResult("fig10", "AC/DC's RWND is the limiting window over CUBIC",
 		"AC/DC's RWND < CUBIC's CWND essentially always once the flow leaves slow start")
 	scheme := SchemeACDC(1500, "cubic", tcpstack.ECNOff)
-	net := topo.Dumbbell(5, scheme.options(cfg.seed()))
+	net := topo.Dumbbell(5, scheme.options(cfg, cfg.seed()))
 	m := workload.NewManager(net)
 	flows := make([]*workload.Messenger, 5)
 	for i := 0; i < 5; i++ {
@@ -135,7 +135,7 @@ func Fig13(cfg RunConfig) *Result {
 	var monotonic = 0.0
 	for ci, combo := range fig13Combos {
 		scheme := SchemeACDC(9000, "cubic", tcpstack.ECNOff)
-		o := scheme.options(cfg.seed() + int64(ci))
+		o := scheme.options(cfg, cfg.seed()+int64(ci))
 		base := *scheme.ACDC
 		o.ACDCFor = func(host int) *core.Config {
 			c := base
@@ -191,7 +191,7 @@ func Fig14(cfg RunConfig) *Result {
 	win := step / 3
 	t := stats.NewTable("scheme", "fairness@5flows", "drop rate", "aggregate Gbps@5flows")
 	for _, scheme := range ThreeSchemes(9000) {
-		net := topo.Dumbbell(5, scheme.options(cfg.seed()))
+		net := topo.Dumbbell(5, scheme.options(cfg, cfg.seed()))
 		m := workload.NewManager(net)
 		flows := make([]*workload.Messenger, 5)
 		// Staggered joins.
@@ -234,7 +234,7 @@ func Fig15(cfg RunConfig) *Result {
 
 	run := func(withACDC bool) (cubicG, dctcpG float64, cubicRTT *stats.Sample, drop float64) {
 		scheme := SchemeDCTCP(9000) // WRED on
-		o := scheme.options(cfg.seed())
+		o := scheme.options(cfg, cfg.seed())
 		cubicGuest := guestCfg(9000, "cubic", tcpstack.ECNOff)
 		o.GuestFor = func(h int) *tcpstack.Config {
 			if h == 0 {
@@ -347,7 +347,7 @@ func Table1(cfg RunConfig) *Result {
 		t := stats.NewTable("config", "RTT p50 us", "RTT p99 us", "avg Gbps", "fairness")
 		for _, row := range table1Rows {
 			scheme := row.scheme(mtu)
-			net := topo.Dumbbell(5, scheme.options(cfg.seed()))
+			net := topo.Dumbbell(5, scheme.options(cfg, cfg.seed()))
 			m, flows := dumbbellFlows(net, 5)
 			net.Sim.RunFor(warm)
 			p := workload.NewProber(m, 0, 5)

@@ -26,7 +26,9 @@ type Telemetry struct {
 	ev  *sim.Event
 }
 
-// fleetSnapshot merges every attached vSwitch's registry into one view.
+// fleetSnapshot merges every attached vSwitch's registry into one view,
+// plus the fault injector's counters when a chaos profile is active, so
+// injected degradation shows up next to the datapath reaction it caused.
 // ok is false when the net has no AC/DC modules (the CUBIC/DCTCP baselines)
 // or metrics are disabled on all of them.
 func fleetSnapshot(net *topo.Net) (snap metrics.Snapshot, ok bool) {
@@ -38,6 +40,9 @@ func fleetSnapshot(net *topo.Net) (snap metrics.Snapshot, ok bool) {
 	}
 	if len(snaps) == 0 {
 		return metrics.Snapshot{}, false
+	}
+	if net.Faults != nil {
+		snaps = append(snaps, net.Faults.Registry().Snapshot())
 	}
 	return metrics.Merge(snaps...), true
 }

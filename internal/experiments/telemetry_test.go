@@ -13,7 +13,7 @@ import (
 func TestTelemetryRecordsFleetMetrics(t *testing.T) {
 	t.Parallel()
 	scheme := SchemeACDC(9000, "cubic", tcpstack.ECNOff)
-	net := topo.Star(3, scheme.options(1))
+	net := topo.Star(3, scheme.options(RunConfig{}, 1))
 	m := workload.NewManager(net)
 	workload.Bulk(m, 0, 2)
 	workload.Bulk(m, 1, 2)
@@ -58,7 +58,7 @@ func TestTelemetryRecordsFleetMetrics(t *testing.T) {
 	}
 
 	// A baseline net without AC/DC yields a nil (and fully inert) recorder.
-	base := topo.Star(2, SchemeCUBIC(9000).options(1))
+	base := topo.Star(2, SchemeCUBIC(9000).options(RunConfig{}, 1))
 	if tlNil := watchFleet(base, "none", sim.Millisecond); tlNil != nil {
 		t.Fatal("watchFleet should return nil without vSwitches")
 	}

@@ -83,6 +83,58 @@ func (c *Counter) Value() int64 {
 	return t
 }
 
+// LazyCounter is a counter that registers itself in its registry only on the
+// first increment. Degradation-path counters (fail-open passthroughs, table
+// evictions, fault injections) use it so a healthy run's snapshots contain no
+// trace of failure modes that never happened — text encodings, golden tests,
+// and operator dashboards stay byte-identical until the event actually fires.
+type LazyCounter struct {
+	reg  *Registry
+	name string
+	c    atomic.Pointer[Counter]
+}
+
+// Lazy returns a counter named name that joins the registry on first use.
+// A nil registry yields a nil LazyCounter, which is a no-op.
+func (r *Registry) Lazy(name string) *LazyCounter {
+	if r == nil {
+		return nil
+	}
+	return &LazyCounter{reg: r, name: name}
+}
+
+func (l *LazyCounter) resolve() *Counter {
+	if c := l.c.Load(); c != nil {
+		return c
+	}
+	// Registry.Counter is idempotent, so concurrent first increments all
+	// resolve to the same instrument; the CAS only dedups the pointer store.
+	c := l.reg.Counter(l.name)
+	l.c.CompareAndSwap(nil, c)
+	return c
+}
+
+// Add adds d, registering the counter if this is its first update. No-op on
+// a nil receiver.
+func (l *LazyCounter) Add(d int64) {
+	if l == nil {
+		return
+	}
+	l.resolve().Add(d)
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (l *LazyCounter) Inc() { l.Add(1) }
+
+// Value returns the count so far; 0 on a nil receiver or before first use
+// (reading does not register the counter).
+func (l *LazyCounter) Value() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.c.Load().Value() // Counter.Value is nil-safe before first use
+}
+
 // Gauge is an instantaneous value (e.g. flow-table size). Unlike Counter it
 // supports Set and negative Adds; it is a single atomic because gauges are
 // updated at state-change frequency, not per packet.

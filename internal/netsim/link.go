@@ -26,6 +26,16 @@ type HandlerFunc func(p *packet.Packet)
 // HandlePacket implements Handler.
 func (f HandlerFunc) HandlePacket(p *packet.Packet) { f(p) }
 
+// FaultHook intercepts a packet after it finishes serialization and before
+// propagation. deliver hands a packet to the link's destination after the
+// propagation delay plus extra; the hook may call it zero times (loss), once
+// (passthrough, jitter, corruption in place), or several times (duplication
+// — clones, so downstream mutation stays per-copy). A nil hook is the
+// ordinary lossless link. internal/faults compiles fault profiles into this
+// hook; it exists so chaos runs exercise the datapath's recovery paths
+// without touching the switch/queue model.
+type FaultHook func(l *Link, p *packet.Packet, deliver func(q *packet.Packet, extra sim.Duration))
+
 // QueuePolicy lets a switch impose admission control and ECN marking on a
 // link's queue. OnEnqueue runs before a packet is queued and may mutate it
 // (set CE) or reject it (drop); OnDequeue runs when serialization of a packet
@@ -60,6 +70,10 @@ type Link struct {
 
 	// Policy is consulted on enqueue/dequeue; nil means unlimited FIFO.
 	Policy QueuePolicy
+
+	// Fault, when set, intercepts packets between serialization and
+	// propagation (fault injection for chaos testing); nil is a clean wire.
+	Fault FaultHook
 
 	// OnTxDone, when set, is called as each packet finishes serialization
 	// (the NIC tx-completion interrupt). TCP stacks use it for TSQ-style
@@ -140,7 +154,14 @@ func (l *Link) txDone(p *packet.Packet) {
 	}
 	p.SentAt = int64(l.Sim.Now())
 	dst := l.Dst
-	l.Sim.Schedule(l.Delay, func() { dst.HandlePacket(p) })
+	deliver := func(q *packet.Packet, extra sim.Duration) {
+		l.Sim.Schedule(l.Delay+extra, func() { dst.HandlePacket(q) })
+	}
+	if l.Fault != nil {
+		l.Fault(l, p, deliver)
+	} else {
+		deliver(p, 0)
+	}
 	l.startNext()
 }
 

@@ -81,6 +81,33 @@ func FindOption(opts []byte, kind byte) []byte {
 	return nil
 }
 
+// OptionsWellFormed reports whether opts parses cleanly to its end: only
+// NOP/EOL appear as single-byte kinds and every other option's length byte
+// is at least 2 and within bounds. The parsers in this package never read
+// out of range on malformed input — they silently ignore the bad tail — so
+// the datapath uses this check to detect damaged option blocks up front and
+// fail open rather than act on a partial parse.
+func OptionsWellFormed(opts []byte) bool {
+	for len(opts) > 0 {
+		switch opts[0] {
+		case OptEOL:
+			return true
+		case OptNOP:
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 {
+				return false
+			}
+			l := int(opts[1])
+			if l < 2 || l > len(opts) {
+				return false
+			}
+			opts = opts[l:]
+		}
+	}
+	return true
+}
+
 // SynOptions holds the handshake options AC/DC and the endpoints care about.
 type SynOptions struct {
 	MSS        uint16
@@ -182,16 +209,24 @@ func ParsePACK(data []byte) (PACKInfo, bool) {
 // the caller should then fall back to a dedicated FACK packet.
 func InsertTCPOption(pkt []byte, opt []byte) []byte {
 	ip := IPv4(pkt)
-	if !ip.Valid() {
+	if !ip.Valid() || ip.Protocol() != ProtoTCP {
 		return nil
 	}
 	t := ip.TCP()
 	if !t.Valid() {
 		return nil
 	}
+	if !optionsAppendable(t.Options()) {
+		return nil
+	}
+	// A total length smaller than the headers (or one the grown packet would
+	// overflow) cannot be rewritten consistently.
+	if int(ip.TotalLen()) < ip.HeaderLen()+t.HeaderLen() {
+		return nil
+	}
 	padded := (len(opt) + 3) &^ 3
 	newTCPHdr := t.HeaderLen() + padded
-	if newTCPHdr > MaxTCPHeaderLen {
+	if newTCPHdr > MaxTCPHeaderLen || int(ip.TotalLen())+padded > 65535 {
 		return nil
 	}
 	ihl := ip.HeaderLen()
@@ -221,11 +256,16 @@ func InsertTCPOption(pkt []byte, opt []byte) []byte {
 // unchanged.
 func RemoveTCPOption(pkt []byte, kind byte) []byte {
 	ip := IPv4(pkt)
-	if !ip.Valid() {
+	if !ip.Valid() || ip.Protocol() != ProtoTCP {
 		return pkt
 	}
 	t := ip.TCP()
 	if !t.Valid() {
+		return pkt
+	}
+	// A total length smaller than the headers is a lying header; shrinking
+	// it would underflow, so the packet passes through untouched.
+	if int(ip.TotalLen()) < ip.HeaderLen()+t.HeaderLen() {
 		return pkt
 	}
 	opts := t.Options()
@@ -268,6 +308,32 @@ func RemoveTCPOption(pkt []byte, kind byte) []byte {
 	ot.setHeaderLen(t.HeaderLen() - removed)
 	ot.ComputeChecksum(oip.PseudoHeaderSum(tcpLenOf(oip)))
 	return out
+}
+
+// optionsAppendable reports whether an option appended after opts would be
+// reachable by the parsers: the block must parse cleanly and must not be
+// terminated by an EOL, behind which an appended option is invisible. When
+// it is not, InsertTCPOption refuses and the datapath falls back to a
+// dedicated FACK packet instead of emitting dead feedback.
+func optionsAppendable(opts []byte) bool {
+	for len(opts) > 0 {
+		switch opts[0] {
+		case OptEOL:
+			return false
+		case OptNOP:
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 {
+				return false
+			}
+			l := int(opts[1])
+			if l < 2 || l > len(opts) {
+				return false
+			}
+			opts = opts[l:]
+		}
+	}
+	return true
 }
 
 // locateOption returns the byte offset and wire length of the first option

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"acdc/internal/core"
+	"acdc/internal/faults"
 	"acdc/internal/netsim"
 	"acdc/internal/packet"
 	"acdc/internal/sim"
@@ -41,6 +42,13 @@ type Options struct {
 	ACDCFor func(host int) *core.Config
 	// Seed seeds the simulation RNG (default 1).
 	Seed int64
+	// Faults, when non-nil and enabled, installs a deterministic fault
+	// injector on every link of the fabric (chaos runs). A nil or disabled
+	// profile leaves every link on the exact fault-free code path.
+	Faults *faults.Profile
+	// FaultSeed seeds the injector's PRNG (default: Seed), independent of
+	// the simulation RNG so the same chaos mix replays across workloads.
+	FaultSeed int64
 }
 
 // Defaults fills zero fields with the paper's testbed values.
@@ -77,7 +85,8 @@ type Net struct {
 	Switches []*netsim.Switch
 	Hosts    []*netsim.Host
 	Stacks   []*tcpstack.Stack
-	ACDC     []*core.VSwitch // nil entries when AC/DC is not attached
+	ACDC     []*core.VSwitch  // nil entries when AC/DC is not attached
+	Faults   *faults.Injector // nil when no fault profile is active
 	Opts     Options
 }
 
@@ -112,7 +121,24 @@ func (n *Net) DropRate() float64 {
 // newNet allocates the container and simulator.
 func newNet(o Options) *Net {
 	o = o.withDefaults()
-	return &Net{Sim: sim.New(o.Seed), Opts: o}
+	n := &Net{Sim: sim.New(o.Seed), Opts: o}
+	if o.Faults != nil && o.Faults.Enabled() {
+		seed := o.FaultSeed
+		if seed == 0 {
+			seed = o.Seed
+		}
+		n.Faults = faults.NewInjector(*o.Faults, seed)
+	}
+	return n
+}
+
+// newLink creates a link and attaches the fault injector when one is active.
+func (n *Net) newLink(name string, dst netsim.Handler) *netsim.Link {
+	l := netsim.NewLink(n.Sim, name, n.Opts.LinkRate, n.Opts.LinkDelay, dst)
+	if n.Faults != nil {
+		n.Faults.Attach(l)
+	}
+	return l
 }
 
 func (n *Net) addSwitch(name string) *netsim.Switch {
@@ -126,8 +152,8 @@ func (n *Net) addSwitch(name string) *netsim.Switch {
 func (n *Net) addHost(sw *netsim.Switch, addr packet.Addr, name string) int {
 	o := n.Opts
 	h := netsim.NewHost(n.Sim, name, addr)
-	h.NIC = netsim.NewLink(n.Sim, name+".up", o.LinkRate, o.LinkDelay, sw)
-	down := netsim.NewLink(n.Sim, name+".down", o.LinkRate, o.LinkDelay, h)
+	h.NIC = n.newLink(name+".up", sw)
+	down := n.newLink(name+".down", h)
 	sw.AddRoute(addr, sw.AddPort(down, o.RED))
 	n.Hosts = append(n.Hosts, h)
 	idx := len(n.Hosts) - 1
@@ -154,8 +180,8 @@ func (n *Net) addHost(sw *netsim.Switch, addr packet.Addr, name string) int {
 // connectSwitches wires a bidirectional trunk between two switches.
 func (n *Net) connectSwitches(a, b *netsim.Switch) (portAtoB, portBtoA int) {
 	o := n.Opts
-	ab := netsim.NewLink(n.Sim, a.Name+">"+b.Name, o.LinkRate, o.LinkDelay, b)
-	ba := netsim.NewLink(n.Sim, b.Name+">"+a.Name, o.LinkRate, o.LinkDelay, a)
+	ab := n.newLink(a.Name+">"+b.Name, b)
+	ba := n.newLink(b.Name+">"+a.Name, a)
 	return a.AddPort(ab, o.RED), b.AddPort(ba, o.RED)
 }
 
