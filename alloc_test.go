@@ -1,0 +1,74 @@
+package acdc
+
+// Allocation-regression tests for the datapath hot paths. The performance
+// model (ARCHITECTURE.md "Performance model") promises that steady-state
+// per-segment processing — established flow, no slow-path events — performs
+// zero heap allocations: packets come from the host pool, events from the
+// simulator free list, and the vSwitch mutates headers in place. These tests
+// pin that property so a stray fmt.Sprintf or slice literal in the hot path
+// fails CI instead of quietly costing 10% throughput.
+
+import (
+	"testing"
+
+	"acdc/internal/benchkit"
+	"acdc/internal/packet"
+)
+
+// TestSenderDatapathZeroAlloc drives the Figure 11 sender-side loop
+// (egress data + ingress PACK-carrying ACK) through an established flow.
+func TestSenderDatapathZeroAlloc(t *testing.T) {
+	ob := newOverheadBench(64)
+	f := 0
+	// Warm the pool and the flow state once before measuring.
+	round := func() {
+		benchkit.BumpSeq(ob.Data[f], 1460)
+		ob.V.EgressPath(ob.Data[f])
+		benchkit.BumpSeq(ob.Acks[f], 0)
+		ob.CloneIngress(ob.Acks[f])
+		f = (f + 1) % 64
+	}
+	for i := 0; i < 128; i++ {
+		round() // touch every flow so first-packet state is all built
+	}
+	if n := testing.AllocsPerRun(200, round); n != 0 {
+		t.Errorf("sender steady-state datapath: %v allocs/op, want 0", n)
+	}
+}
+
+// TestReceiverDatapathZeroAlloc drives the Figure 12 receiver-side loop
+// (ingress data + egress ACK with in-place PACK attach).
+func TestReceiverDatapathZeroAlloc(t *testing.T) {
+	ob := newOverheadBench(64)
+	f := 0
+	round := func() {
+		benchkit.BumpSeq(ob.InData[f], 1460)
+		ob.V.IngressPath(ob.InData[f])
+		ob.CloneEgress(ob.OutAck[f])
+		f = (f + 1) % 64
+	}
+	for i := 0; i < 128; i++ {
+		round()
+	}
+	if n := testing.AllocsPerRun(200, round); n != 0 {
+		t.Errorf("receiver steady-state datapath: %v allocs/op, want 0", n)
+	}
+}
+
+// TestPoolCloneReleaseZeroAlloc pins the pool round trip itself.
+func TestPoolCloneReleaseZeroAlloc(t *testing.T) {
+	pool := packet.NewPool()
+	tmpl := packet.Build(packet.MakeAddr(10, 0, 0, 1), packet.MakeAddr(10, 0, 0, 2),
+		packet.NotECT, packet.TCPFields{SrcPort: 1, DstPort: 2, Flags: packet.FlagACK, Window: 100}, 0)
+	round := func() {
+		q := pool.Clone(tmpl)
+		pool.Put(q)
+	}
+	round()
+	if n := testing.AllocsPerRun(500, round); n != 0 {
+		t.Errorf("pool clone/release: %v allocs/op, want 0", n)
+	}
+	if pool.News > 1 {
+		t.Errorf("pool allocated %d fresh packets for a 1-deep working set", pool.News)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"acdc/internal/benchkit"
 	"acdc/internal/core"
 	"acdc/internal/experiments"
 	"acdc/internal/netsim"
@@ -118,86 +119,12 @@ func BenchmarkTable1Variants(b *testing.B) {
 // The paper measures whole-system CPU with sar and reports < 1 percentage
 // point of overhead. Here we measure the per-segment cost of the AC/DC
 // datapath directly, against a baseline that parses headers the way any
-// vSwitch must, across flow-table populations from 100 to 10,000.
+// vSwitch must, across flow-table populations from 100 to 10,000. The
+// fixture lives in internal/benchkit so cmd/acdcbench reports exactly the
+// same loops.
 
-type overheadBench struct {
-	v      *core.VSwitch
-	data   []*packet.Packet // egress data segment per flow (sender side)
-	acks   []*packet.Packet // ingress ACK with PACK per flow (sender side)
-	inData []*packet.Packet // ingress data per flow (receiver side)
-	outAck []*packet.Packet // egress ACK per flow (receiver side)
-}
-
-func newOverheadBench(nFlows int) *overheadBench {
-	return newOverheadBenchCfg(nFlows, nil)
-}
-
-// newOverheadBenchCfg is newOverheadBench with a Config hook, for ablations
-// that flip datapath features (metrics, policing, …).
-func newOverheadBenchCfg(nFlows int, mutate func(*core.Config)) *overheadBench {
-	s := sim.New(1)
-	host := netsim.NewHost(s, "h", packet.MakeAddr(10, 0, 0, 1))
-	host.NIC = netsim.NewLink(s, "nic", 10e9, sim.Microsecond,
-		netsim.HandlerFunc(func(*packet.Packet) {}))
-	cfg := core.DefaultConfig()
-	cfg.MTU = 1500 // the paper reports 1.5KB MTU (worst case: most packets)
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	v := core.Attach(s, host, cfg)
-
-	ob := &overheadBench{v: v}
-	for i := 0; i < nFlows; i++ {
-		la := host.Addr
-		ra := packet.MakeAddr(10, 0, byte(1+i/250), byte(1+i%250))
-		sport := uint16(30000 + i%20000)
-		// Establish state via the real datapath: egress SYN, ingress SYN-ACK.
-		syn := packet.Build(la, ra, packet.NotECT, packet.TCPFields{
-			SrcPort: sport, DstPort: 5001, Seq: 1000, Flags: packet.FlagSYN,
-			Window: 65535, Options: packet.BuildSynOptions(1460, 7, true),
-		}, 0)
-		v.Egress(syn)
-		synack := packet.Build(ra, la, packet.NotECT, packet.TCPFields{
-			SrcPort: 5001, DstPort: sport, Seq: 5000, Ack: 1001,
-			Flags: packet.FlagSYN | packet.FlagACK, Window: 65535,
-			Options: packet.BuildSynOptions(1460, 7, true),
-		}, 0)
-		v.Ingress(synack)
-
-		ob.data = append(ob.data, packet.Build(la, ra, packet.NotECT, packet.TCPFields{
-			SrcPort: sport, DstPort: 5001, Seq: 1001, Ack: 5001,
-			Flags: packet.FlagACK | packet.FlagPSH, Window: 65535,
-		}, 1460))
-		ack := packet.Build(ra, la, packet.NotECT, packet.TCPFields{
-			SrcPort: 5001, DstPort: sport, Seq: 5001, Ack: 1001,
-			Flags: packet.FlagACK, Window: 65535,
-		}, 0)
-		var opt [packet.PACKOptionLen]byte
-		packet.EncodePACK(opt[:], packet.PACKInfo{TotalBytes: 1460, MarkedBytes: 0})
-		ack.Buf = packet.InsertTCPOption(ack.Buf, opt[:])
-		ob.acks = append(ob.acks, ack)
-
-		// Receiver-module traffic for the reverse direction.
-		ob.inData = append(ob.inData, packet.Build(ra, la, packet.ECT0, packet.TCPFields{
-			SrcPort: 5001, DstPort: sport, Seq: 5001, Ack: 1001,
-			Flags: packet.FlagACK | packet.FlagPSH, Window: 65535,
-		}, 1460))
-		ob.outAck = append(ob.outAck, packet.Build(la, ra, packet.NotECT, packet.TCPFields{
-			SrcPort: sport, DstPort: 5001, Seq: 1001, Ack: 6461,
-			Flags: packet.FlagACK, Window: 65535,
-		}, 0))
-	}
-	return ob
-}
-
-// bumpSeq advances a data packet's sequence number so connection tracking
-// does real work each round (and fixes the checksum like a real sender).
-func bumpSeq(p *packet.Packet, delta uint32) {
-	t := p.TCP()
-	seq := t.Seq() + delta
-	binary.BigEndian.PutUint32(p.Buf[packet.IPv4HeaderLen+4:], seq)
-	ip := p.IP()
-	t.ComputeChecksum(ip.PseudoHeaderSum(ip.TotalLen() - uint16(ip.HeaderLen())))
+func newOverheadBench(nFlows int) *benchkit.OverheadBench {
+	return benchkit.NewOverheadBench(nFlows)
 }
 
 var overheadSizes = []int{100, 500, 1000, 5000, 10000}
@@ -209,19 +136,21 @@ func BenchmarkFig11SenderOverhead(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				f := i % n
-				bumpSeq(ob.data[f], 1460)
-				ob.v.Egress(ob.data[f])
-				bumpSeq(ob.acks[f], 0)
-				ob.v.Ingress(ob.acks[f].Clone())
+				benchkit.BumpSeq(ob.Data[f], 1460)
+				ob.V.EgressPath(ob.Data[f])
+				benchkit.BumpSeq(ob.Acks[f], 0)
+				ob.CloneIngress(ob.Acks[f])
 			}
 		})
 		b.Run(fmt.Sprintf("baseline/flows=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				f := i % n
-				bumpSeq(ob.data[f], 1460)
-				baselineForward(ob.data[f])
-				baselineForward(ob.acks[f].Clone())
+				benchkit.BumpSeq(ob.Data[f], 1460)
+				benchkit.BaselineForward(ob.Data[f])
+				q := ob.Pool.Clone(ob.Acks[f])
+				benchkit.BaselineForward(q)
+				ob.Pool.Put(q)
 			}
 		})
 	}
@@ -234,18 +163,20 @@ func BenchmarkFig12ReceiverOverhead(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				f := i % n
-				bumpSeq(ob.inData[f], 1460)
-				ob.v.Ingress(ob.inData[f])
-				ob.v.Egress(ob.outAck[f].Clone())
+				benchkit.BumpSeq(ob.InData[f], 1460)
+				ob.V.IngressPath(ob.InData[f])
+				ob.CloneEgress(ob.OutAck[f])
 			}
 		})
 		b.Run(fmt.Sprintf("baseline/flows=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				f := i % n
-				bumpSeq(ob.inData[f], 1460)
-				baselineForward(ob.inData[f])
-				baselineForward(ob.outAck[f].Clone())
+				benchkit.BumpSeq(ob.InData[f], 1460)
+				benchkit.BaselineForward(ob.InData[f])
+				q := ob.Pool.Clone(ob.OutAck[f])
+				benchkit.BaselineForward(q)
+				ob.Pool.Put(q)
 			}
 		})
 	}
@@ -262,33 +193,19 @@ func BenchmarkDatapathWithMetrics(b *testing.B) {
 			name    string
 			disable bool
 		}{{"enabled", false}, {"disabled", true}} {
-			ob := newOverheadBenchCfg(n, func(c *core.Config) { c.DisableMetrics = mode.disable })
+			ob := benchkit.NewOverheadBenchCfg(n, func(c *core.Config) { c.DisableMetrics = mode.disable })
 			b.Run(fmt.Sprintf("%s/flows=%d", mode.name, n), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					f := i % n
-					bumpSeq(ob.data[f], 1460)
-					ob.v.Egress(ob.data[f])
-					bumpSeq(ob.acks[f], 0)
-					ob.v.Ingress(ob.acks[f].Clone())
+					benchkit.BumpSeq(ob.Data[f], 1460)
+					ob.V.EgressPath(ob.Data[f])
+					benchkit.BumpSeq(ob.Acks[f], 0)
+					ob.CloneIngress(ob.Acks[f])
 				}
 			})
 		}
 	}
-}
-
-// baselineForward models what a plain vSwitch does per packet: validate and
-// parse the headers to make a forwarding decision.
-func baselineForward(p *packet.Packet) (uint16, uint16) {
-	ip := p.IP()
-	if !ip.Valid() || ip.Protocol() != packet.ProtoTCP {
-		return 0, 0
-	}
-	t := ip.TCP()
-	if !t.Valid() {
-		return 0, 0
-	}
-	return t.SrcPort(), t.DstPort()
 }
 
 // BenchmarkFig11Concurrent drives the sender-side datapath from multiple
@@ -296,13 +213,16 @@ func baselineForward(p *packet.Packet) (uint16, uint16) {
 // sharded flow table.
 func BenchmarkFig11Concurrent(b *testing.B) {
 	ob := newOverheadBench(10000)
+	// The packet pool is single-threaded by design; detach it so concurrent
+	// clones fall back to plain (thread-safe) allocation.
+	ob.V.Host.Pool = nil
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
 			i++
 			f := (i * 7) % 10000
-			ob.v.Ingress(ob.acks[f].Clone())
+			ob.V.IngressPath(ob.Acks[f].Clone())
 		}
 	})
 }
@@ -475,14 +395,14 @@ func BenchmarkAblationRwndFloor(b *testing.B) {
 // Sanity: the overhead bench fixture produces live state.
 func TestOverheadBenchFixture(t *testing.T) {
 	ob := newOverheadBench(100)
-	if ob.v.Table.Len() < 200 { // two directions per flow
-		t.Fatalf("fixture table has %d entries", ob.v.Table.Len())
+	if ob.V.Table.Len() < 200 { // two directions per flow
+		t.Fatalf("fixture table has %d entries", ob.V.Table.Len())
 	}
-	out := ob.v.Ingress(ob.acks[0].Clone())
+	out := ob.V.Ingress(ob.Acks[0].Clone())
 	if len(out) != 1 {
 		t.Fatal("ACK consumed unexpectedly")
 	}
-	if ob.v.Stats().PacksConsumed == 0 {
+	if ob.V.Stats().PacksConsumed == 0 {
 		t.Fatal("PACK not consumed")
 	}
 	var sm stats.Sample

@@ -1,0 +1,163 @@
+// Command acdcbench measures the repository's performance headline numbers
+// and emits them as JSON (BENCH_results.json at the repo root is a checked-in
+// snapshot). Three groups:
+//
+//   - micro: the Figure 11/12 per-segment datapath loops and the
+//     metrics-enabled variant, via testing.Benchmark (ns/op, B/op, allocs/op)
+//   - eval: wall-clock for the full experiment registry, sequential and
+//     parallel (-workers), plus the speedup ratio
+//   - baseline: the same micro numbers measured before the zero-allocation
+//     rework, kept for before/after comparison in the JSON artifact
+//
+// Usage:
+//
+//	acdcbench [-o BENCH_results.json] [-workers 0] [-skip-eval]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"acdc/internal/benchkit"
+	"acdc/internal/core"
+	"acdc/internal/experiments"
+)
+
+// MicroResult is one testing.Benchmark measurement.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// EvalResult is the full-registry wall-clock comparison.
+type EvalResult struct {
+	Experiments       int     `json:"experiments"`
+	Workers           int     `json:"workers"`
+	NumCPU            int     `json:"num_cpu"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GeneratedBy string        `json:"generated_by"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	Micro       []MicroResult `json:"micro"`
+	Eval        *EvalResult   `json:"eval,omitempty"`
+	Baseline    []MicroResult `json:"baseline_before_zero_alloc"`
+	Notes       []string      `json:"notes,omitempty"`
+}
+
+// baseline numbers measured on this container before the zero-allocation
+// rework (free-list packet pool, monomorphic event heap, pair-returning
+// hooks), same loops, go test -bench on the then-current tree.
+var baseline = []MicroResult{
+	{Name: "Fig11Sender/acdc/flows=100", NsPerOp: 988.8, BytesPerOp: 256, AllocsPerOp: 7},
+	{Name: "Fig12Receiver/acdc/flows=100", NsPerOp: 642.4, BytesPerOp: 192, AllocsPerOp: 5},
+	{Name: "DatapathWithMetrics/enabled/flows=100", NsPerOp: 877.4, BytesPerOp: 256, AllocsPerOp: 7},
+}
+
+func micro(name string, loop func(b *testing.B)) MicroResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		loop(b)
+	})
+	return MicroResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output path (- for stdout)")
+	workers := flag.Int("workers", 0, "parallel eval workers (0 = one per CPU)")
+	skipEval := flag.Bool("skip-eval", false, "skip the full-registry wall-clock comparison")
+	flag.Parse()
+
+	rep := &Report{
+		GeneratedBy: "cmd/acdcbench",
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Baseline:    baseline,
+	}
+
+	for _, n := range []int{100, 10000} {
+		n := n
+		ob := benchkit.NewOverheadBench(n)
+		rep.Micro = append(rep.Micro, micro(
+			fmt.Sprintf("Fig11Sender/acdc/flows=%d", n),
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ob.SenderRound(i % n)
+				}
+			}))
+		ob2 := benchkit.NewOverheadBench(n)
+		rep.Micro = append(rep.Micro, micro(
+			fmt.Sprintf("Fig12Receiver/acdc/flows=%d", n),
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ob2.ReceiverRound(i % n)
+				}
+			}))
+	}
+	obM := benchkit.NewOverheadBenchCfg(100, func(c *core.Config) { c.DisableMetrics = false })
+	rep.Micro = append(rep.Micro, micro(
+		"DatapathWithMetrics/enabled/flows=100",
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				obM.SenderRound(i % 100)
+			}
+		}))
+
+	if !*skipEval {
+		cfg := experiments.RunConfig{Seed: 1}
+		seqStart := time.Now()
+		experiments.RunAll(experiments.Registry, cfg, 1, nil)
+		seq := time.Since(seqStart).Seconds()
+		w := experiments.Workers(*workers)
+		parStart := time.Now()
+		experiments.RunAll(experiments.Registry, cfg, w, nil)
+		par := time.Since(parStart).Seconds()
+		rep.Eval = &EvalResult{
+			Experiments:       len(experiments.Registry),
+			Workers:           w,
+			NumCPU:            runtime.NumCPU(),
+			SequentialSeconds: seq,
+			ParallelSeconds:   par,
+			Speedup:           seq / par,
+		}
+		if runtime.NumCPU() == 1 {
+			rep.Notes = append(rep.Notes,
+				"eval measured on a single-CPU host: parallel speedup is bounded at ~1x here; the worker pool needs multiple cores to show gains")
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acdcbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "acdcbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "acdcbench: wrote %s\n", *out)
+}

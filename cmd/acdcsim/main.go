@@ -7,8 +7,14 @@
 //	acdcsim -all               run the whole registry
 //	acdcsim -long fig14        closer-to-paper durations (~10×)
 //	acdcsim -seed 7 fig1       change the simulation seed
+//	acdcsim -parallel 0 -all   run experiments on one worker per CPU
 //	acdcsim -faults loss fig8  inject a named fault profile (chaos run)
 //	acdcsim -faults drop=0.01,jitter=50us fig8
+//
+// -parallel N runs the selected experiments over N workers (0 = one per
+// CPU; the default 1 is the sequential path). Each experiment owns its own
+// simulator, so results and their printed order are identical to a
+// sequential run — only wall time changes.
 //
 // Run `acdcsim -faults help` to list the built-in profiles.
 package main
@@ -29,6 +35,7 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	long := flag.Bool("long", false, "run closer-to-paper durations (~10x)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 1, "experiment workers (0 = one per CPU, 1 = sequential)")
 	faultSpec := flag.String("faults", "", "fault profile: a built-in name or k=v list (`help` to list)")
 	flag.Parse()
 
@@ -79,6 +86,7 @@ func main() {
 			prof.String(), *seed, strings.Join(ids, " "))
 	}
 	exit := 0
+	var jobs []experiments.Job
 	for _, id := range ids {
 		e := experiments.ByID(id)
 		if e == nil {
@@ -86,10 +94,24 @@ func main() {
 			exit = 1
 			continue
 		}
-		start := time.Now()
-		res := e.Run(cfg)
-		fmt.Print(res.String())
-		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+		jobs = append(jobs, experiments.Job{Exp: *e, Cfg: cfg})
 	}
+	// Wrap each run with per-experiment timing; results stream out strictly
+	// in job order, so parallel output matches sequential output (modulo the
+	// wall-time lines, which also vary run to run sequentially).
+	durs := make([]time.Duration, len(jobs))
+	for i := range jobs {
+		i, run := i, jobs[i].Exp.Run
+		jobs[i].Exp.Run = func(c experiments.RunConfig) *experiments.Result {
+			start := time.Now()
+			res := run(c)
+			durs[i] = time.Since(start)
+			return res
+		}
+	}
+	experiments.Sweep(jobs, *parallel, func(i int, res *experiments.Result) {
+		fmt.Print(res.String())
+		fmt.Printf("(wall time %.1fs)\n\n", durs[i].Seconds())
+	})
 	os.Exit(exit)
 }

@@ -79,38 +79,34 @@ func main() {
 		i := i
 		h := net.Hosts[i]
 		innerE, innerI := h.Egress, h.Ingress
-		h.Egress = func(p *packet.Packet) []*packet.Packet {
+		h.Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 			before := p.Clone()
-			var out []*packet.Packet
+			out, extra := p, (*packet.Packet)(nil)
 			if innerE != nil {
-				out = innerE(p)
-			} else {
-				out = []*packet.Packet{p}
+				out, extra = innerE(p)
 			}
-			if len(out) == 0 {
+			if out == nil && extra == nil {
 				annotate(i, "⇧egress ", before, nil)
-				return out
+				return nil, nil
 			}
-			annotate(i, "⇧egress ", before, out[0])
-			for _, extra := range out[1:] {
+			annotate(i, "⇧egress ", before, out)
+			if extra != nil {
 				fmt.Printf("%10v  h%d ⇧egress  %v [FACK generated]\n", net.Sim.Now(), i, extra)
 			}
-			return out
+			return out, extra
 		}
-		h.Ingress = func(p *packet.Packet) []*packet.Packet {
+		h.Ingress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 			before := p.Clone()
-			var out []*packet.Packet
+			out, extra := p, (*packet.Packet)(nil)
 			if innerI != nil {
-				out = innerI(p)
-			} else {
-				out = []*packet.Packet{p}
+				out, extra = innerI(p)
 			}
-			if len(out) == 0 {
+			if out == nil && extra == nil {
 				annotate(i, "⇩ingress", before, nil)
-				return out
+				return nil, nil
 			}
-			annotate(i, "⇩ingress", before, out[0])
-			return out
+			annotate(i, "⇩ingress", before, out)
+			return out, extra
 		}
 	}
 

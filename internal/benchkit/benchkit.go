@@ -1,0 +1,156 @@
+// Package benchkit holds the datapath-overhead benchmark fixture shared by
+// the repo-root Figure 11/12 benchmarks (`go test -bench`) and the
+// cmd/acdcbench reporting binary, so both measure exactly the same loop.
+package benchkit
+
+import (
+	"encoding/binary"
+
+	"acdc/internal/core"
+	"acdc/internal/netsim"
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+)
+
+// OverheadBench is per-flow template traffic through one AC/DC vSwitch with
+// an established flow table: the paper's Figure 11 (sender side) and Figure
+// 12 (receiver side) per-segment overhead measurement.
+type OverheadBench struct {
+	V      *core.VSwitch
+	Pool   *packet.Pool     // the host's packet pool (steady-state clones are free)
+	Data   []*packet.Packet // egress data segment per flow (sender side)
+	Acks   []*packet.Packet // ingress ACK with PACK per flow (sender side)
+	InData []*packet.Packet // ingress data per flow (receiver side)
+	OutAck []*packet.Packet // egress ACK per flow (receiver side)
+}
+
+// NewOverheadBench builds the fixture with nFlows established flows.
+func NewOverheadBench(nFlows int) *OverheadBench {
+	return NewOverheadBenchCfg(nFlows, nil)
+}
+
+// NewOverheadBenchCfg is NewOverheadBench with a Config hook, for ablations
+// that flip datapath features (metrics, policing, …).
+func NewOverheadBenchCfg(nFlows int, mutate func(*core.Config)) *OverheadBench {
+	s := sim.New(1)
+	host := netsim.NewHost(s, "h", packet.MakeAddr(10, 0, 0, 1))
+	host.Pool = packet.NewPool()
+	host.NIC = netsim.NewLink(s, "nic", 10e9, sim.Microsecond,
+		netsim.HandlerFunc(func(*packet.Packet) {}))
+	cfg := core.DefaultConfig()
+	cfg.MTU = 1500 // the paper reports 1.5KB MTU (worst case: most packets)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	v := core.Attach(s, host, cfg)
+
+	ob := &OverheadBench{V: v, Pool: host.Pool}
+	for i := 0; i < nFlows; i++ {
+		la := host.Addr
+		ra := packet.MakeAddr(10, 0, byte(1+i/250), byte(1+i%250))
+		sport := uint16(30000 + i%20000)
+		// Establish state via the real datapath: egress SYN, ingress SYN-ACK.
+		syn := packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+			SrcPort: sport, DstPort: 5001, Seq: 1000, Flags: packet.FlagSYN,
+			Window: 65535, Options: packet.BuildSynOptions(1460, 7, true),
+		}, 0)
+		v.Egress(syn)
+		synack := packet.Build(ra, la, packet.NotECT, packet.TCPFields{
+			SrcPort: 5001, DstPort: sport, Seq: 5000, Ack: 1001,
+			Flags: packet.FlagSYN | packet.FlagACK, Window: 65535,
+			Options: packet.BuildSynOptions(1460, 7, true),
+		}, 0)
+		v.Ingress(synack)
+
+		ob.Data = append(ob.Data, packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+			SrcPort: sport, DstPort: 5001, Seq: 1001, Ack: 5001,
+			Flags: packet.FlagACK | packet.FlagPSH, Window: 65535,
+		}, 1460))
+		ack := packet.Build(ra, la, packet.NotECT, packet.TCPFields{
+			SrcPort: 5001, DstPort: sport, Seq: 5001, Ack: 1001,
+			Flags: packet.FlagACK, Window: 65535,
+		}, 0)
+		var opt [packet.PACKOptionLen]byte
+		packet.EncodePACK(opt[:], packet.PACKInfo{TotalBytes: 1460, MarkedBytes: 0})
+		ack.Buf = packet.InsertTCPOption(ack.Buf, opt[:])
+		ob.Acks = append(ob.Acks, ack)
+
+		// Receiver-module traffic for the reverse direction.
+		ob.InData = append(ob.InData, packet.Build(ra, la, packet.ECT0, packet.TCPFields{
+			SrcPort: 5001, DstPort: sport, Seq: 5001, Ack: 1001,
+			Flags: packet.FlagACK | packet.FlagPSH, Window: 65535,
+		}, 1460))
+		ob.OutAck = append(ob.OutAck, packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+			SrcPort: sport, DstPort: 5001, Seq: 1001, Ack: 6461,
+			Flags: packet.FlagACK, Window: 65535,
+		}, 0))
+	}
+	return ob
+}
+
+// BumpSeq advances a data packet's sequence number so connection tracking
+// does real work each round (and fixes the checksum like a real sender).
+func BumpSeq(p *packet.Packet, delta uint32) {
+	t := p.TCP()
+	seq := t.Seq() + delta
+	binary.BigEndian.PutUint32(p.Buf[packet.IPv4HeaderLen+4:], seq)
+	ip := p.IP()
+	t.ComputeChecksum(ip.PseudoHeaderSum(ip.TotalLen() - uint16(ip.HeaderLen())))
+}
+
+// CloneIngress runs one pooled round trip through the ingress path: clone a
+// template from the pool, process it, release whatever comes out. This is
+// the steady-state shape of the real datapath (every packet a host
+// terminates goes back to the same pool it was built from).
+func (ob *OverheadBench) CloneIngress(tmpl *packet.Packet) {
+	q := ob.Pool.Clone(tmpl)
+	out, extra := ob.V.IngressPath(q)
+	if out == nil && extra == nil {
+		ob.Pool.Put(q)
+		return
+	}
+	ob.Pool.Put(out)
+	ob.Pool.Put(extra)
+}
+
+// CloneEgress is CloneIngress for the egress path.
+func (ob *OverheadBench) CloneEgress(tmpl *packet.Packet) {
+	q := ob.Pool.Clone(tmpl)
+	out, extra := ob.V.EgressPath(q)
+	if out == nil && extra == nil {
+		return // egress hooks may retain; templates here never are, GC takes it
+	}
+	ob.Pool.Put(out)
+	ob.Pool.Put(extra)
+}
+
+// SenderRound is one Figure 11 iteration for flow f: egress one data
+// segment, ingress one PACK-carrying ACK.
+func (ob *OverheadBench) SenderRound(f int) {
+	BumpSeq(ob.Data[f], 1460)
+	ob.V.EgressPath(ob.Data[f])
+	BumpSeq(ob.Acks[f], 0)
+	ob.CloneIngress(ob.Acks[f])
+}
+
+// ReceiverRound is one Figure 12 iteration for flow f: ingress one data
+// segment, egress one ACK (PACK attach in place).
+func (ob *OverheadBench) ReceiverRound(f int) {
+	BumpSeq(ob.InData[f], 1460)
+	ob.V.IngressPath(ob.InData[f])
+	ob.CloneEgress(ob.OutAck[f])
+}
+
+// BaselineForward models what a plain vSwitch does per packet: validate and
+// parse the headers to make a forwarding decision.
+func BaselineForward(p *packet.Packet) (uint16, uint16) {
+	ip := p.IP()
+	if !ip.Valid() || ip.Protocol() != packet.ProtoTCP {
+		return 0, 0
+	}
+	t := ip.TCP()
+	if !t.Valid() {
+		return 0, 0
+	}
+	return t.SrcPort(), t.DstPort()
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"acdc/internal/metrics"
 	"acdc/internal/netsim"
+	"acdc/internal/packet"
 	"acdc/internal/sim"
 )
 
@@ -153,9 +154,18 @@ func Attach(s *sim.Simulator, host *netsim.Host, cfg Config) *VSwitch {
 	if cfg.SweepInterval > 0 {
 		v.sweepTimer = sim.NewTimer(s, v.onSweepTick)
 	}
-	host.Egress = v.Egress
-	host.Ingress = v.Ingress
+	host.Egress = v.EgressPath
+	host.Ingress = v.IngressPath
 	return v
+}
+
+// pool returns the packet pool shared with the host (nil-safe: pool-less
+// hosts fall back to plain allocation).
+func (v *VSwitch) pool() *packet.Pool {
+	if v.Host == nil {
+		return nil
+	}
+	return v.Host.Pool
 }
 
 // Detach removes the datapath hooks (reverting to a standard vSwitch).

@@ -364,9 +364,9 @@ func TestVTimeoutCollapsesWindow(t *testing.T) {
 	before := f.Snapshot().CwndBytes
 
 	hookOld := b.hosts[0].Egress
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
-		hookOld(p) // vSwitch accounting runs (snd_nxt advances)…
-		return nil // …but nothing reaches the wire, so ACKs stop
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
+		hookOld(p)      // vSwitch accounting runs (snd_nxt advances)…
+		return nil, nil // …but nothing reaches the wire, so ACKs stop
 	}
 	b.s.RunFor(20 * sim.Millisecond)
 	if b.acdc[0].Stats().VTimeouts == 0 {

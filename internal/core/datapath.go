@@ -10,34 +10,58 @@ import (
 // sender module after the feedback is extracted.
 const OptFACK = 254
 
-// Egress is the vSwitch hook for packets leaving the guest stack (§4's
-// ovs_dp_process_packet on the transmit side).
+// Egress adapts EgressPath to a slice return for tests and tools; the
+// datapath itself is wired with EgressPath (no slice allocation).
 func (v *VSwitch) Egress(p *packet.Packet) []*packet.Packet {
+	return pairToSlice(v.EgressPath(p))
+}
+
+// Ingress adapts IngressPath to a slice return for tests and tools.
+func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
+	return pairToSlice(v.IngressPath(p))
+}
+
+func pairToSlice(out, extra *packet.Packet) []*packet.Packet {
+	switch {
+	case out == nil && extra == nil:
+		return nil
+	case extra == nil:
+		return []*packet.Packet{out}
+	case out == nil:
+		return []*packet.Packet{extra}
+	default:
+		return []*packet.Packet{out, extra}
+	}
+}
+
+// EgressPath is the vSwitch hook for packets leaving the guest stack (§4's
+// ovs_dp_process_packet on the transmit side).
+func (v *VSwitch) EgressPath(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 	v.Metrics.EgressSegs.Inc()
 	v.maybeSweep()
 	ip := p.IP()
 	if !ip.Valid() {
 		v.Metrics.FailOpen.Inc()
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	v.Metrics.EgressBytes.Add(int64(p.IPLen()))
 	if ip.Protocol() == packet.ProtoUDP && v.Cfg.UDPTunnel {
 		return v.udpEgress(p)
 	}
 	if ip.Protocol() != packet.ProtoTCP {
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	t := ip.TCP()
 	if !t.Valid() {
 		v.Metrics.FailOpen.Inc()
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	if !packet.OptionsWellFormed(t.Options()) {
 		// Damaged option block: acting on a partial parse could corrupt flow
 		// state, so the segment passes through untouched.
 		v.Metrics.MalformedOptions.Inc()
 		v.Metrics.FailOpen.Inc()
-		return []*packet.Packet{p}
+		return p, nil
 	}
 
 	fwdKey := FlowKey{Src: ip.Src(), Dst: ip.Dst(), SPort: t.SrcPort(), DPort: t.DstPort()}
@@ -55,7 +79,7 @@ func (v *VSwitch) Egress(p *packet.Packet) []*packet.Packet {
 	}
 	if fwd != nil {
 		if dropped := v.senderEgress(fwd, p, t, syn, plen); dropped {
-			return nil
+			return nil, nil
 		}
 	}
 
@@ -75,17 +99,14 @@ func (v *VSwitch) Egress(p *packet.Packet) []*packet.Packet {
 			v.Metrics.ECTMarks.Inc()
 		}
 	}
-	if extra != nil {
-		if v.Cfg.MarkECT {
-			eip := extra.IP()
-			if eip.ECN() == packet.NotECT {
-				eip.SetECN(packet.ECT0)
-				v.Metrics.ECTMarks.Inc()
-			}
+	if extra != nil && v.Cfg.MarkECT {
+		eip := extra.IP()
+		if eip.ECN() == packet.NotECT {
+			eip.SetECN(packet.ECT0)
+			v.Metrics.ECTMarks.Inc()
 		}
-		return []*packet.Packet{out, extra}
 	}
-	return []*packet.Packet{out}
+	return out, extra
 }
 
 // senderEgress updates connection-tracking state for outgoing segments and
@@ -180,8 +201,7 @@ func (v *VSwitch) attachFeedback(rev *Flow, ack *packet.Packet) (out, extra *pac
 	if !v.Cfg.DisablePACK {
 		var opt [packet.PACKOptionLen]byte
 		packet.EncodePACK(opt[:], info)
-		if buf := packet.InsertTCPOption(ack.Buf, opt[:]); buf != nil {
-			ack.Buf = buf
+		if packet.InsertTCPOptionInPlace(ack, opt[:]) {
 			v.Metrics.PacksAttached.Inc()
 			return ack, nil
 		}
@@ -197,7 +217,7 @@ func (v *VSwitch) attachFeedback(rev *Flow, ack *packet.Packet) (out, extra *pac
 	fopt[1] = packet.PACKOptionLen
 	putU32(fopt[2:6], info.TotalBytes)
 	putU32(fopt[6:10], info.MarkedBytes)
-	fack := packet.Build(ip.Src(), ip.Dst(), packet.NotECT, packet.TCPFields{
+	fack := packet.BuildIn(v.pool(), ip.Src(), ip.Dst(), packet.NotECT, packet.TCPFields{
 		SrcPort: t.SrcPort(), DstPort: t.DstPort(),
 		Seq: t.Seq(), Ack: t.Ack(),
 		Flags: packet.FlagACK, Window: t.Window(),
@@ -218,31 +238,31 @@ func getU32(b []byte) uint32 {
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }
 
-// Ingress is the vSwitch hook for packets arriving from the network.
-func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
+// IngressPath is the vSwitch hook for packets arriving from the network.
+func (v *VSwitch) IngressPath(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 	v.Metrics.IngressSegs.Inc()
 	v.maybeSweep()
 	ip := p.IP()
 	if !ip.Valid() {
 		v.Metrics.FailOpen.Inc()
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	v.Metrics.IngressBytes.Add(int64(p.IPLen()))
 	if ip.Protocol() == packet.ProtoUDP && v.Cfg.UDPTunnel {
 		return v.udpIngress(p)
 	}
 	if ip.Protocol() != packet.ProtoTCP {
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	t := ip.TCP()
 	if !t.Valid() {
 		v.Metrics.FailOpen.Inc()
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	if !packet.OptionsWellFormed(t.Options()) {
 		v.Metrics.MalformedOptions.Inc()
 		v.Metrics.FailOpen.Inc()
-		return []*packet.Packet{p}
+		return p, nil
 	}
 
 	// fwdKey: peer's data direction (we are receiver). revKey: ours.
@@ -269,7 +289,8 @@ func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
 				}
 			}
 			v.Metrics.FacksConsumed.Inc()
-			return nil
+			// Consumed: the caller (Host.HandlePacket) recycles the packet.
+			return nil, nil
 		}
 		if f := v.Table.Get(revKey); f != nil {
 			var info packet.PACKInfo
@@ -283,10 +304,10 @@ func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
 			}
 			v.processFeedbackAndAck(f, p, t, info, havePack)
 			if havePack {
-				// Strip the PACK so the guest never sees it.
-				p.Buf = packet.RemoveTCPOption(p.Buf, packet.OptPACK)
-				ip = p.IP()
-				t = ip.TCP()
+				// Strip the PACK so the guest never sees it. The in-place
+				// strip overwrites the option with NOPs (no reallocation);
+				// this runs post-wire, so the unchanged length is free.
+				packet.StripTCPOptionInPlace(p, packet.OptPACK)
 			}
 		} else {
 			v.Metrics.UntrackedSegs.Inc()
@@ -307,7 +328,7 @@ func (v *VSwitch) Ingress(p *packet.Packet) []*packet.Packet {
 		v.stripECN(p, v.Table.Get(fwdKey))
 	}
 
-	return []*packet.Packet{p}
+	return p, nil
 }
 
 // ingressHandshake learns window scales and guest ECN negotiation from

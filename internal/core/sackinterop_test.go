@@ -69,16 +69,16 @@ func TestEndToEndSACKUnderACDC(t *testing.T) {
 
 	count, dropped := 0, 0
 	inner := b.hosts[0].Egress
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
-		out := inner(p)
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
+		out, extra := inner(p)
 		if p.PayloadLen() > 0 {
 			count++
 			if count >= 50 && dropped < 4 {
 				dropped++
-				return nil
+				return nil, nil
 			}
 		}
-		return out
+		return out, extra
 	}
 	var srvp = new(*tcpstack.Conn)
 	b.stacks[1].Listen(5001, func(c *tcpstack.Conn) { *srvp = c })
@@ -113,7 +113,7 @@ func TestTxDoneCallbacks(t *testing.T) {
 		t.Fatalf("OnTxDone = %d", done)
 	}
 	// Dropping egress hook → OnTxFree.
-	h.Egress = func(*packet.Packet) []*packet.Packet { return nil }
+	h.Egress = func(*packet.Packet) (*packet.Packet, *packet.Packet) { return nil, nil }
 	h.Output(p.Clone())
 	if freed != 1 {
 		t.Fatalf("OnTxFree = %d", freed)

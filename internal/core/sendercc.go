@@ -216,10 +216,14 @@ func (v *VSwitch) onVTimeout(f *Flow) {
 	f.mu.Unlock()
 
 	if dup != nil {
-		for i := 0; i < 3; i++ {
+		// Three dup ACKs, but only two clones: the third delivery hands the
+		// original over (the guest side owns delivered packets).
+		for i := 0; i < 2; i++ {
 			v.Metrics.DupAcksGenerated.Inc()
-			v.Host.DeliverLocal(dup.Clone())
+			v.Host.DeliverLocal(v.pool().Clone(dup))
 		}
+		v.Metrics.DupAcksGenerated.Inc()
+		v.Host.DeliverLocal(dup)
 	}
 }
 
@@ -235,7 +239,7 @@ func (v *VSwitch) buildDupAckLocked(f *Flow) *packet.Packet {
 	if field > 65535 {
 		field = 65535
 	}
-	return packet.Build(f.Key.Dst, f.Key.Src, packet.NotECT, packet.TCPFields{
+	return packet.BuildIn(v.pool(), f.Key.Dst, f.Key.Src, packet.NotECT, packet.TCPFields{
 		SrcPort: f.Key.DPort, DstPort: f.Key.SPort,
 		Seq: f.lastAckWire, Ack: f.iss + uint32(f.SndUna),
 		Flags: packet.FlagACK, Window: uint16(field),

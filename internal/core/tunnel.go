@@ -30,18 +30,18 @@ const udpFeedbackBytes = 18_000
 const udpTunnelQueueCap = 256 << 10
 
 // udpEgress is the sender-module path for guest datagrams.
-func (v *VSwitch) udpEgress(p *packet.Packet) []*packet.Packet {
+func (v *VSwitch) udpEgress(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 	ip := p.IP()
 	u := ip.UDP()
 	if !u.Valid() {
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	key := FlowKey{Src: ip.Src(), Dst: ip.Dst(), SPort: u.SrcPort(), DPort: u.DstPort()}
 	f := v.flowFor(key)
 	if f == nil {
 		// Table full: the tunnel cannot admit-control this datagram, so it
 		// passes through unwindowed rather than being dropped.
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -71,24 +71,26 @@ func (v *VSwitch) udpEgress(p *packet.Packet) []*packet.Packet {
 		if v.Cfg.MarkECT && ip.ECN() == packet.NotECT {
 			ip.SetECN(packet.ECT0)
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	if f.tqBytes+int(size) <= udpTunnelQueueCap {
+		// Retained: the flow owns the datagram until the window opens (the
+		// egress-hook contract lets a consumed packet be kept).
 		f.tq = append(f.tq, p)
 		f.tqBytes += int(size)
-		return nil
+		return nil, nil
 	}
 	v.Metrics.PolicingDrops.Inc()
-	return nil
+	return nil, nil
 }
 
 // udpIngress is the receiver-module path: count, strip ECN, and stream
 // feedback back to the sender's vSwitch.
-func (v *VSwitch) udpIngress(p *packet.Packet) []*packet.Packet {
+func (v *VSwitch) udpIngress(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 	ip := p.IP()
 	u := ip.UDP()
 	if !u.Valid() {
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	key := FlowKey{Src: ip.Src(), Dst: ip.Dst(), SPort: u.SrcPort(), DPort: u.DstPort()}
 	f := v.flowFor(key)
@@ -98,7 +100,7 @@ func (v *VSwitch) udpIngress(p *packet.Packet) []*packet.Packet {
 			ip.SetECN(packet.NotECT)
 			v.Metrics.ECNStripped.Inc()
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	f.mu.Lock()
 	f.isUDP = true
@@ -127,7 +129,7 @@ func (v *VSwitch) udpIngress(p *packet.Packet) []*packet.Packet {
 	if fb != nil {
 		v.Host.InjectToWire(fb)
 	}
-	return []*packet.Packet{p}
+	return p, nil
 }
 
 // buildUDPFeedbackLocked crafts the control packet: TCP-formatted (so the
@@ -140,7 +142,7 @@ func (v *VSwitch) buildUDPFeedbackLocked(f *Flow) *packet.Packet {
 	opt[1] = packet.PACKOptionLen
 	putU32(opt[2:6], f.TotalBytes)
 	putU32(opt[6:10], f.MarkedBytes)
-	fb := packet.Build(f.Key.Dst, f.Key.Src, packet.ECT0, packet.TCPFields{
+	fb := packet.BuildIn(v.pool(), f.Key.Dst, f.Key.Src, packet.ECT0, packet.TCPFields{
 		SrcPort: f.Key.DPort, DstPort: f.Key.SPort,
 		Flags: packet.FlagACK, Window: 0, Options: opt[:],
 	}, 0)

@@ -51,7 +51,7 @@ func watchRwnd(net *topo.Net) *int64 {
 		if orig == nil {
 			return nil
 		}
-		return func(p *packet.Packet) []*packet.Packet {
+		return func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 			var before uint16
 			checkable := false
 			if ip := packet.IPv4(p.Buf); ip.Valid() && ip.Protocol() == packet.ProtoTCP {
@@ -59,20 +59,17 @@ func watchRwnd(net *topo.Net) *int64 {
 					before, checkable = tc.Window(), true
 				}
 			}
-			out := orig(p)
-			if checkable {
-				for _, q := range out {
-					if q != p {
-						continue // synthesized packet (FACK/dup-ACK), not a rewrite
-					}
-					if ip := packet.IPv4(q.Buf); ip.Valid() && ip.Protocol() == packet.ProtoTCP {
-						if tc := ip.TCP(); tc.Valid() && tc.Window() > before {
-							*widened++
-						}
+			out, extra := orig(p)
+			// Only the packet with the same identity it went in with is a
+			// rewrite; a synthesized packet (FACK/dup-ACK) is not checked.
+			if checkable && out == p {
+				if ip := packet.IPv4(out.Buf); ip.Valid() && ip.Protocol() == packet.ProtoTCP {
+					if tc := ip.TCP(); tc.Valid() && tc.Window() > before {
+						*widened++
 					}
 				}
 			}
-			return out
+			return out, extra
 		}
 	}
 	for _, h := range net.Hosts {

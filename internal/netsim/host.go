@@ -6,10 +6,20 @@ import (
 )
 
 // PathHook is a vSwitch datapath interception point. It receives one packet
-// and returns the packets that continue along the path: the same packet
-// (possibly mutated or replaced), additional generated packets (e.g. AC/DC
-// FACKs), or none (policing drop). A nil hook is a passthrough.
-type PathHook func(p *packet.Packet) []*packet.Packet
+// and returns the packets that continue along the path as a pair: out is the
+// input packet (possibly mutated or replaced) or nil if the hook consumed it
+// (policing drop, absorbed feedback, retained for later injection), and
+// extra is at most one additional generated packet (e.g. a coalesced AC/DC
+// window probe) — no datapath in this repository produces more than one. The
+// pair form keeps the per-packet hot path free of slice allocations. A nil
+// hook is a passthrough.
+//
+// Ownership: the hook owns the input while it runs. Returning it (as out)
+// hands it back to the caller; returning nil,nil means the hook consumed it
+// — an ingress hook must not retain the packet in that case (the host
+// recycles it), while an egress hook may (the host only credits TSQ and
+// leaves the packet to its new owner or the GC).
+type PathHook func(p *packet.Packet) (out, extra *packet.Packet)
 
 // Host is a server: a guest stack above a vSwitch above a NIC. The guest
 // TCP endpoints (internal/tcpstack) register as the Demux; the AC/DC module
@@ -31,6 +41,11 @@ type Host struct {
 	// Demux delivers packets to the guest transport layer.
 	Demux Handler
 
+	// Pool recycles packet buffers for everything attached to this host's
+	// simulator (one shared Pool per topology). Nil is valid and falls back
+	// to garbage-collected allocation everywhere.
+	Pool *packet.Pool
+
 	// OnTxFree, when set, is called for packets that leave the egress path
 	// without reaching the wire (dropped by the egress hook or the NIC
 	// queue), so TSQ accounting in the stack does not leak.
@@ -49,45 +64,73 @@ func NewHost(s *sim.Simulator, name string, addr packet.Addr) *Host {
 
 // Output sends a guest-stack packet through the egress hook and onto the NIC.
 func (h *Host) Output(p *packet.Packet) {
-	pkts := applyHook(h.Egress, p)
-	if len(pkts) == 0 {
+	out, extra := applyHook(h.Egress, p)
+	if out == nil && extra == nil {
 		h.EgressDropped++
 		if h.OnTxFree != nil {
+			// Credit TSQ for the packet that never reached the wire. The
+			// packet itself is not recycled here: the egress hook may have
+			// retained it (UDP tunnel queueing), and policing drops are rare
+			// enough that leaving the rest to the GC is fine.
 			h.OnTxFree(p)
 		}
 		return
 	}
-	for _, q := range pkts {
-		h.SentPackets++
-		h.SentBytes += int64(q.IPLen())
-		if !h.NIC.Send(q) && h.OnTxFree != nil {
+	h.sendOne(out)
+	h.sendOne(extra)
+}
+
+func (h *Host) sendOne(q *packet.Packet) {
+	if q == nil {
+		return
+	}
+	h.SentPackets++
+	h.SentBytes += int64(q.IPLen())
+	if !h.NIC.Send(q) {
+		// NIC queue rejected it: the packet dies here.
+		if h.OnTxFree != nil {
 			h.OnTxFree(q)
 		}
+		h.Pool.Put(q)
 	}
 }
 
 // HandlePacket implements Handler: packets arriving from the network pass
 // the ingress hook and are delivered to the guest stack.
 func (h *Host) HandlePacket(p *packet.Packet) {
-	pkts := applyHook(h.Ingress, p)
-	if len(pkts) == 0 {
+	out, extra := applyHook(h.Ingress, p)
+	if out == nil && extra == nil {
+		// Consumed by the hook (absorbed FACK, policing drop). Per the
+		// PathHook contract the hook did not retain it, so recycle.
 		h.IngressDropped++
+		h.Pool.Put(p)
 		return
 	}
-	for _, q := range pkts {
-		h.RecvPackets++
-		h.RecvBytes += int64(q.IPLen())
-		if h.Demux != nil {
-			h.Demux.HandlePacket(q)
-		}
+	h.deliverOne(out)
+	h.deliverOne(extra)
+}
+
+func (h *Host) deliverOne(q *packet.Packet) {
+	if q == nil {
+		return
+	}
+	h.RecvPackets++
+	h.RecvBytes += int64(q.IPLen())
+	if h.Demux != nil {
+		h.Demux.HandlePacket(q)
+	} else {
+		h.Pool.Put(q)
 	}
 }
 
 // DeliverLocal injects a vSwitch-generated packet (e.g. a window update or a
 // duplicate ACK) directly into the guest stack, bypassing the ingress hook.
+// Ownership of p transfers to the guest side.
 func (h *Host) DeliverLocal(p *packet.Packet) {
 	if h.Demux != nil {
 		h.Demux.HandlePacket(p)
+	} else {
+		h.Pool.Put(p)
 	}
 }
 
@@ -96,12 +139,14 @@ func (h *Host) DeliverLocal(p *packet.Packet) {
 func (h *Host) InjectToWire(p *packet.Packet) {
 	h.SentPackets++
 	h.SentBytes += int64(p.IPLen())
-	h.NIC.Send(p)
+	if !h.NIC.Send(p) {
+		h.Pool.Put(p)
+	}
 }
 
-func applyHook(hook PathHook, p *packet.Packet) []*packet.Packet {
+func applyHook(hook PathHook, p *packet.Packet) (out, extra *packet.Packet) {
 	if hook == nil {
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	return hook(p)
 }

@@ -82,15 +82,60 @@ type Link struct {
 
 	Stats LinkStats
 
-	queue      []*packet.Packet
+	// queue is the serialization FIFO and flight the propagation FIFO, both
+	// rings: the serializer strictly drains head-first and (fault-free) every
+	// packet propagates for the same Delay, so delivery order matches
+	// completion order. Rings + the two bound callbacks below keep the
+	// per-packet path free of closure allocations.
+	queue      pktRing
+	flight     pktRing
 	queueBytes int
 	busy       bool
+
+	txDoneF   func()
+	deliverF  func()
+	faultDelF func(q *packet.Packet, extra sim.Duration)
 }
 
 // NewLink creates a link with the given rate (bits/sec) and one-way
 // propagation delay.
 func NewLink(s *sim.Simulator, name string, rate int64, delay sim.Duration, dst Handler) *Link {
-	return &Link{Sim: s, Name: name, Rate: rate, Delay: delay, Dst: dst}
+	l := &Link{Sim: s, Name: name, Rate: rate, Delay: delay, Dst: dst}
+	l.txDoneF = l.txDone
+	l.deliverF = l.deliverHead
+	l.faultDelF = l.faultDeliver
+	return l
+}
+
+// pktRing is a growable FIFO ring of packets.
+type pktRing struct {
+	buf  []*packet.Packet
+	head int
+	n    int
+}
+
+func (r *pktRing) len() int { return r.n }
+
+func (r *pktRing) push(p *packet.Packet) {
+	if r.n == len(r.buf) {
+		grown := make([]*packet.Packet, max(16, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+func (r *pktRing) peek() *packet.Packet { return r.buf[r.head] }
+
+func (r *pktRing) pop() *packet.Packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p
 }
 
 // QueueBytes returns the bytes currently queued (including the packet being
@@ -98,7 +143,7 @@ func NewLink(s *sim.Simulator, name string, rate int64, delay sim.Duration, dst 
 func (l *Link) QueueBytes() int { return l.queueBytes }
 
 // QueueLen returns the number of queued packets (including in-flight).
-func (l *Link) QueueLen() int { return len(l.queue) }
+func (l *Link) QueueLen() int { return l.queue.len() }
 
 // TxTime returns the serialization time for n wire bytes.
 func (l *Link) TxTime(n int) sim.Duration {
@@ -117,7 +162,7 @@ func (l *Link) Send(p *packet.Packet) bool {
 	}
 	l.accumQueueTicks()
 	p.EnqueuedAt = int64(l.Sim.Now())
-	l.queue = append(l.queue, p)
+	l.queue.push(p)
 	l.queueBytes += p.WireLen()
 	l.Stats.EnquedPackets++
 	if l.queueBytes > l.Stats.MaxQueueBytes {
@@ -130,19 +175,20 @@ func (l *Link) Send(p *packet.Packet) bool {
 }
 
 func (l *Link) startNext() {
-	if len(l.queue) == 0 {
+	if l.queue.len() == 0 {
 		l.busy = false
 		return
 	}
 	l.busy = true
-	p := l.queue[0]
-	tx := l.TxTime(p.WireLen())
-	l.Sim.Schedule(tx, func() { l.txDone(p) })
+	tx := l.TxTime(l.queue.peek().WireLen())
+	l.Sim.ScheduleFunc(tx, l.txDoneF)
 }
 
-func (l *Link) txDone(p *packet.Packet) {
+// txDone completes serialization of the queue head (the serializer is
+// strictly FIFO, so the head is always the packet whose tx timer fired).
+func (l *Link) txDone() {
 	l.accumQueueTicks()
-	l.queue = l.queue[1:]
+	p := l.queue.pop()
 	l.queueBytes -= p.WireLen()
 	l.Stats.SentPackets++
 	l.Stats.SentBytes += int64(p.WireLen())
@@ -153,16 +199,27 @@ func (l *Link) txDone(p *packet.Packet) {
 		l.OnTxDone(p)
 	}
 	p.SentAt = int64(l.Sim.Now())
-	dst := l.Dst
-	deliver := func(q *packet.Packet, extra sim.Duration) {
-		l.Sim.Schedule(l.Delay+extra, func() { dst.HandlePacket(q) })
-	}
 	if l.Fault != nil {
-		l.Fault(l, p, deliver)
+		l.Fault(l, p, l.faultDelF)
 	} else {
-		deliver(p, 0)
+		// Clean wire: constant Delay means delivery order == completion
+		// order, so the flight ring plus one bound callback replaces the
+		// per-packet closures.
+		l.flight.push(p)
+		l.Sim.ScheduleFunc(l.Delay, l.deliverF)
 	}
 	l.startNext()
+}
+
+// deliverHead hands the oldest in-flight packet to the destination.
+func (l *Link) deliverHead() {
+	l.Dst.HandlePacket(l.flight.pop())
+}
+
+// faultDeliver is the deliver callback handed to FaultHooks; jitter (extra)
+// breaks the FIFO invariant, so this path schedules a per-packet closure.
+func (l *Link) faultDeliver(q *packet.Packet, extra sim.Duration) {
+	l.Sim.Schedule(l.Delay+extra, func() { l.Dst.HandlePacket(q) })
 }
 
 func (l *Link) accumQueueTicks() {

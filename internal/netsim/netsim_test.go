@@ -328,13 +328,13 @@ func TestHostHooks(t *testing.T) {
 	hosts[1].Demux = k
 
 	var egressSeen, ingressSeen int
-	hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		egressSeen++
-		return []*packet.Packet{p}
+		return p, nil
 	}
-	hosts[1].Ingress = func(p *packet.Packet) []*packet.Packet {
+	hosts[1].Ingress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		ingressSeen++
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	hosts[0].Output(mkPktTo(hosts[1].Addr, packet.ECT0, 10))
 	s.RunAll()
@@ -350,8 +350,8 @@ func TestHostHookDropAndMultiply(t *testing.T) {
 	hosts[1].Demux = k
 
 	// Egress hook that duplicates every packet (FACK-style).
-	hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
-		return []*packet.Packet{p, p.Clone()}
+	hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
+		return p, p.Clone()
 	}
 	hosts[0].Output(mkPktTo(hosts[1].Addr, packet.ECT0, 10))
 	s.RunAll()
@@ -361,7 +361,7 @@ func TestHostHookDropAndMultiply(t *testing.T) {
 
 	// Ingress hook that drops everything (policing).
 	k.got = nil
-	hosts[1].Ingress = func(p *packet.Packet) []*packet.Packet { return nil }
+	hosts[1].Ingress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) { return nil, nil }
 	hosts[0].Output(mkPktTo(hosts[1].Addr, packet.ECT0, 10))
 	s.RunAll()
 	if len(k.got) != 0 || hosts[1].IngressDropped != 2 {
@@ -374,7 +374,7 @@ func TestDeliverLocalBypassesIngress(t *testing.T) {
 	_, hosts := buildStar(t, s, 2, REDConfig{})
 	k := &sink{}
 	hosts[0].Demux = k
-	hosts[0].Ingress = func(p *packet.Packet) []*packet.Packet { return nil }
+	hosts[0].Ingress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) { return nil, nil }
 	hosts[0].DeliverLocal(mkPkt(0))
 	if len(k.got) != 1 {
 		t.Fatal("DeliverLocal did not bypass ingress hook")

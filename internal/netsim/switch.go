@@ -26,6 +26,10 @@ type Switch struct {
 	// FwdDelay models the switch pipeline latency applied to every packet.
 	FwdDelay sim.Duration
 
+	// Pool recycles packets the switch terminates (route/TTL/queue drops);
+	// nil degrades to garbage collection.
+	Pool *packet.Pool
+
 	ports  []*Link
 	routes map[packet.Addr]int
 }
@@ -63,25 +67,35 @@ func (sw *Switch) HandlePacket(p *packet.Packet) {
 	ip := p.IP()
 	if !ip.Valid() {
 		sw.Stats.NoRoute++
+		sw.Pool.Put(p)
 		return
 	}
 	port, ok := sw.routes[ip.Dst()]
 	if !ok {
 		sw.Stats.NoRoute++
+		sw.Pool.Put(p)
 		return
 	}
 	if !ip.DecTTL() {
 		sw.Stats.TTLDrops++
+		sw.Pool.Put(p)
 		return
 	}
 	p.Hops++
 	sw.Stats.Forwarded++
 	out := sw.ports[port]
 	if sw.FwdDelay > 0 {
-		sw.Sim.Schedule(sw.FwdDelay, func() { out.Send(p) })
+		sw.Sim.Schedule(sw.FwdDelay, func() {
+			if !out.Send(p) {
+				sw.Pool.Put(p)
+			}
+		})
 		return
 	}
-	out.Send(p)
+	if !out.Send(p) {
+		// Queue-policy drop: the packet dies at this switch.
+		sw.Pool.Put(p)
+	}
 }
 
 // TotalDrops sums drops across all egress ports.

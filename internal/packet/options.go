@@ -162,7 +162,11 @@ func ParseSynOptions(opts []byte) SynOptions {
 // BuildSynOptions encodes handshake options (MSS, window scale, SACK
 // permitted) in the layout Linux uses.
 func BuildSynOptions(mss uint16, wscale uint8, sackPerm bool) []byte {
-	b := make([]byte, 0, 12)
+	n := 8 // MSS(4) + NOP + WScale(3)
+	if sackPerm {
+		n += 4 // NOP + NOP + SACKPerm(2)
+	}
+	b := make([]byte, 0, n)
 	b = append(b, OptMSS, 4, byte(mss>>8), byte(mss))
 	b = append(b, OptNOP, OptWScale, 3, wscale)
 	if sackPerm {
@@ -248,6 +252,87 @@ func InsertTCPOption(pkt []byte, opt []byte) []byte {
 	ot.setHeaderLen(newTCPHdr)
 	ot.ComputeChecksum(oip.PseudoHeaderSum(tcpLenOf(oip)))
 	return out
+}
+
+// InsertTCPOptionInPlace appends opt to p's TCP options like InsertTCPOption,
+// but mutates p.Buf directly, extending the slice within its existing
+// capacity when possible (pooled buffers carry spare capacity for exactly
+// this). It reports whether the insert happened; on false p is untouched and
+// the caller should fall back to a dedicated feedback packet.
+func InsertTCPOptionInPlace(p *Packet, opt []byte) bool {
+	pkt := p.Buf
+	ip := IPv4(pkt)
+	if !ip.Valid() || ip.Protocol() != ProtoTCP {
+		return false
+	}
+	t := ip.TCP()
+	if !t.Valid() {
+		return false
+	}
+	if !optionsAppendable(t.Options()) {
+		return false
+	}
+	if int(ip.TotalLen()) < ip.HeaderLen()+t.HeaderLen() {
+		return false
+	}
+	padded := (len(opt) + 3) &^ 3
+	newTCPHdr := t.HeaderLen() + padded
+	if newTCPHdr > MaxTCPHeaderLen || int(ip.TotalLen())+padded > 65535 {
+		return false
+	}
+	ihl := ip.HeaderLen()
+	hdrEnd := ihl + t.HeaderLen()
+	var out []byte
+	if len(pkt)+padded <= cap(pkt) {
+		out = pkt[:len(pkt)+padded]
+		// Slide any trailing (materialized) payload bytes out of the way.
+		copy(out[hdrEnd+padded:], pkt[hdrEnd:])
+	} else {
+		out = make([]byte, len(pkt)+padded)
+		copy(out, pkt[:hdrEnd])
+		copy(out[hdrEnd+padded:], pkt[hdrEnd:])
+	}
+	n := hdrEnd + copy(out[hdrEnd:], opt)
+	for i := 0; i < padded-len(opt); i++ {
+		out[n] = OptNOP
+		n++
+	}
+	oip := IPv4(out)
+	oip.SetTotalLen(ip.TotalLen() + uint16(padded))
+	ot := oip.TCP()
+	ot.setHeaderLen(newTCPHdr)
+	ot.ComputeChecksum(oip.PseudoHeaderSum(tcpLenOf(oip)))
+	p.Buf = out
+	return true
+}
+
+// StripTCPOptionInPlace overwrites the first option of the given kind with
+// NOPs directly in p.Buf and fixes the TCP checksum — the zero-allocation
+// sibling of RemoveTCPOption for post-wire use (the header does not shrink,
+// so wire timing is unaffected; this runs at ingress, after the packet has
+// left the fabric). It reports whether an option was stripped.
+func StripTCPOptionInPlace(p *Packet, kind byte) bool {
+	ip := IPv4(p.Buf)
+	if !ip.Valid() || ip.Protocol() != ProtoTCP {
+		return false
+	}
+	t := ip.TCP()
+	if !t.Valid() {
+		return false
+	}
+	if int(ip.TotalLen()) < ip.HeaderLen()+t.HeaderLen() {
+		return false
+	}
+	opts := t.Options()
+	start, length := locateOption(opts, kind)
+	if start < 0 {
+		return false
+	}
+	for i := start; i < start+length; i++ {
+		opts[i] = OptNOP
+	}
+	t.ComputeChecksum(ip.PseudoHeaderSum(tcpLenOf(ip)))
+	return true
 }
 
 // RemoveTCPOption returns a new packet buffer with the first option of the

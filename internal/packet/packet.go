@@ -23,6 +23,9 @@ type Packet struct {
 	SentAt     int64
 	// Hops counts switch traversals, for loop detection in tests.
 	Hops int
+	// pooled marks a packet currently sitting on a Pool free list, so a
+	// double release panics instead of corrupting a reused packet.
+	pooled bool
 }
 
 // IP returns the IPv4 view of the packet.
@@ -64,13 +67,14 @@ func (p *Packet) String() string {
 		return fmt.Sprintf("%v>%v proto=%d", ip.Src(), ip.Dst(), ip.Protocol())
 	}
 	fl := t.Flags()
-	fs := ""
-	for _, f := range []struct {
+	var fb [7]byte // at most one byte per rendered flag; stack-allocated
+	fs := fb[:0]
+	for _, f := range [...]struct {
 		bit  uint8
-		name string
-	}{{FlagSYN, "S"}, {FlagFIN, "F"}, {FlagRST, "R"}, {FlagPSH, "P"}, {FlagACK, "A"}, {FlagECE, "E"}, {FlagCWR, "C"}} {
+		name byte
+	}{{FlagSYN, 'S'}, {FlagFIN, 'F'}, {FlagRST, 'R'}, {FlagPSH, 'P'}, {FlagACK, 'A'}, {FlagECE, 'E'}, {FlagCWR, 'C'}} {
 		if fl&f.bit != 0 {
-			fs += f.name
+			fs = append(fs, f.name)
 		}
 	}
 	return fmt.Sprintf("%v:%d>%v:%d %s seq=%d ack=%d win=%d len=%d %s",

@@ -6,10 +6,20 @@
 // calls Run. Determinism is guaranteed by ordering events first by time and
 // then by insertion sequence, so two events scheduled for the same instant
 // fire in the order they were scheduled.
+//
+// # Event recycling
+//
+// Event structs are pooled on a per-Simulator free list: firing or cancelling
+// an event returns it to the pool, and the next Schedule/At reuses it. In the
+// steady state a sim workload therefore schedules with zero allocations. The
+// contract this imposes on callers: an *Event handle is valid only while the
+// event is pending. Once it has fired or been cancelled, the handle must be
+// dropped (nil it out, as Timer does) — calling Cancel or Reschedule through
+// a stale handle is a no-op at best and can target an unrelated reused event
+// at worst.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -47,6 +57,7 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // Event is a scheduled callback. It is returned by Schedule/At so callers can
 // cancel pending timers (e.g. retransmission timers that are reset on ACKs).
+// Handles are only valid while the event is pending; see the package comment.
 type Event struct {
 	when     Time
 	seq      uint64
@@ -61,16 +72,28 @@ func (e *Event) Canceled() bool { return e.canceled }
 // When returns the simulated time the event fires (or fired).
 func (e *Event) When() Time { return e.when }
 
+// maxFreeEvents bounds the event free list so a one-off scheduling burst does
+// not pin memory for the lifetime of the simulator.
+const maxFreeEvents = 1 << 14
+
 // Simulator owns the virtual clock and the pending-event queue.
 type Simulator struct {
 	now     Time
-	pq      eventHeap
+	pq      []*Event // monomorphic binary min-heap ordered by (when, seq)
+	free    []*Event // recycled events, reused by At/Schedule
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
 	// Processed counts events executed; useful for perf accounting in tests.
 	Processed uint64
+	// allocated counts Event structs ever heap-allocated (free-list misses).
+	allocated int64
 }
+
+// Allocated returns the number of Event structs this simulator has ever
+// heap-allocated — the free-list miss count. In steady state it stops
+// growing, which TestEventRecycling pins.
+func (s *Simulator) Allocated() int64 { return s.allocated }
 
 // New creates a simulator whose RNG is seeded with seed (deterministic runs).
 func New(seed int64) *Simulator {
@@ -92,6 +115,14 @@ func (s *Simulator) Schedule(d Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
+// ScheduleFunc runs fn after delay d, fire-and-forget: no Event handle is
+// returned, so the event can never be cancelled. Use it for callbacks that
+// always run (transmission completions, workload ticks) — it makes the
+// no-handle intent explicit at the call site.
+func (s *Simulator) ScheduleFunc(d Duration, fn func()) {
+	s.Schedule(d, fn)
+}
+
 // At runs fn at absolute time t. Scheduling in the past fires at the current
 // time (events never run retroactively).
 func (s *Simulator) At(t Time, fn func()) *Event {
@@ -99,28 +130,53 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 		t = s.now
 	}
 	s.seq++
-	ev := &Event{when: t, seq: s.seq, fn: fn, index: -1}
-	heap.Push(&s.pq, ev)
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &Event{}
+		s.allocated++
+	}
+	ev.when, ev.seq, ev.fn, ev.canceled = t, s.seq, fn, false
+	s.push(ev)
 	return ev
 }
 
-// Cancel marks ev so it will not fire. Safe to call multiple times and on
-// events that already fired (no-op).
-func (s *Simulator) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
-		return
-	}
-	ev.canceled = true
-	if ev.index >= 0 {
-		heap.Remove(&s.pq, ev.index)
+// recycle returns a no-longer-pending event to the free list.
+func (s *Simulator) recycle(ev *Event) {
+	ev.fn = nil
+	ev.index = -1
+	if len(s.free) < maxFreeEvents {
+		s.free = append(s.free, ev)
 	}
 }
 
-// Reschedule cancels ev (if pending) and schedules fn-preserving copy at
-// now+d, returning the new event.
+// Cancel removes a pending event so it will not fire and recycles it. Safe to
+// call with nil or on events that already fired or were cancelled (no-op) —
+// but see the package comment: a stale handle may alias a reused event.
+func (s *Simulator) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	ev.canceled = true
+	s.remove(ev.index)
+	s.recycle(ev)
+}
+
+// Reschedule cancels ev (if pending) and schedules its callback afresh at
+// now+d, returning the new event. A nil or already-fired event (whose
+// callback is gone) reschedules nothing and returns nil.
 func (s *Simulator) Reschedule(ev *Event, d Duration) *Event {
+	if ev == nil {
+		return nil
+	}
 	fn := ev.fn
 	s.Cancel(ev)
+	if fn == nil {
+		return nil
+	}
 	return s.Schedule(d, fn)
 }
 
@@ -133,7 +189,9 @@ func (s *Simulator) Pending() int { return len(s.pq) }
 // Run executes events in time order until the queue drains, Stop is called,
 // or the next event would fire after `until` (pass a huge value to run to
 // completion). The clock is left at the time of the last executed event, or
-// at `until` if the run was cut short by the horizon.
+// at `until` if the queue was exhausted (or cut short by the horizon) so
+// callers measuring rates over [0, until] divide by the right span. A Stop
+// leaves the clock at the stopping event.
 func (s *Simulator) Run(until Time) {
 	s.stopped = false
 	for len(s.pq) > 0 && !s.stopped {
@@ -142,19 +200,14 @@ func (s *Simulator) Run(until Time) {
 			s.now = until
 			return
 		}
-		heap.Pop(&s.pq)
+		s.popHead()
 		s.now = ev.when
-		if !ev.canceled {
-			s.Processed++
-			ev.fn()
-		}
+		fn := ev.fn
+		s.Processed++
+		s.recycle(ev)
+		fn()
 	}
-	if s.now < until && s.stopped {
-		return
-	}
-	if s.now < until && len(s.pq) == 0 {
-		// Queue drained before the horizon: advance to the horizon so
-		// callers measuring rates over [0, until] divide by the right span.
+	if !s.stopped && s.now < until {
 		s.now = until
 	}
 }
@@ -168,41 +221,101 @@ func (s *Simulator) RunFor(d Duration) { s.Run(s.now + d) }
 func (s *Simulator) RunAll() {
 	s.stopped = false
 	for len(s.pq) > 0 && !s.stopped {
-		ev := heap.Pop(&s.pq).(*Event)
+		ev := s.pq[0]
+		s.popHead()
 		s.now = ev.when
-		if !ev.canceled {
-			s.Processed++
-			ev.fn()
+		fn := ev.fn
+		s.Processed++
+		s.recycle(ev)
+		fn()
+	}
+}
+
+// less orders the heap by (when, seq): time first, insertion order second.
+func eventLess(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev into the heap.
+func (s *Simulator) push(ev *Event) {
+	ev.index = len(s.pq)
+	s.pq = append(s.pq, ev)
+	s.siftUp(ev.index)
+}
+
+// popHead removes the heap minimum (the caller already read s.pq[0]).
+func (s *Simulator) popHead() {
+	n := len(s.pq) - 1
+	head := s.pq[0]
+	s.pq[0] = s.pq[n]
+	s.pq[0].index = 0
+	s.pq[n] = nil
+	s.pq = s.pq[:n]
+	head.index = -1
+	if n > 1 {
+		s.siftDown(0)
+	}
+}
+
+// remove deletes the event at heap index i.
+func (s *Simulator) remove(i int) {
+	n := len(s.pq) - 1
+	ev := s.pq[i]
+	if i != n {
+		s.pq[i] = s.pq[n]
+		s.pq[i].index = i
+	}
+	s.pq[n] = nil
+	s.pq = s.pq[:n]
+	ev.index = -1
+	if i < n {
+		if !s.siftDown(i) {
+			s.siftUp(i)
 		}
 	}
 }
 
-// eventHeap is a min-heap ordered by (when, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// siftUp restores the heap property upward from index i.
+func (s *Simulator) siftUp(i int) {
+	ev := s.pq[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(ev, s.pq[parent]) {
+			break
+		}
+		s.pq[i] = s.pq[parent]
+		s.pq[i].index = i
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	s.pq[i] = ev
+	ev.index = i
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// siftDown restores the heap property downward from index i; it reports
+// whether the element moved.
+func (s *Simulator) siftDown(i int) bool {
+	ev := s.pq[i]
+	start := i
+	n := len(s.pq)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventLess(s.pq[r], s.pq[child]) {
+			child = r
+		}
+		if !eventLess(s.pq[child], ev) {
+			break
+		}
+		s.pq[i] = s.pq[child]
+		s.pq[i].index = i
+		i = child
+	}
+	s.pq[i] = ev
+	ev.index = i
+	return i > start
 }

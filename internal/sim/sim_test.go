@@ -307,3 +307,41 @@ func BenchmarkScheduleRun(b *testing.B) {
 	}
 	s.RunAll()
 }
+
+// TestScheduleFireReuseZeroAlloc pins the event free list: once the pool is
+// warm, a schedule→fire→recycle round trip performs no heap allocations.
+func TestScheduleFireReuseZeroAlloc(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	round := func() {
+		s.ScheduleFunc(Microsecond, fn)
+		s.ScheduleFunc(2*Microsecond, fn)
+		s.RunAll()
+	}
+	round() // warm the free list
+	if n := testing.AllocsPerRun(500, round); n != 0 {
+		t.Errorf("schedule/fire/reuse: %v allocs/op, want 0", n)
+	}
+}
+
+// TestEventRecycling checks the free list actually recycles: after many
+// sequential schedule→fire cycles the simulator has allocated only as many
+// events as the peak number simultaneously pending.
+func TestEventRecycling(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		s.ScheduleFunc(Duration(i)*Microsecond, func() {})
+	}
+	s.RunAll()
+	if got := s.Allocated(); got > 1000 {
+		t.Fatalf("allocated %d events for 1000 pending", got)
+	}
+	before := s.Allocated()
+	for i := 0; i < 10000; i++ {
+		s.ScheduleFunc(Microsecond, func() {})
+		s.RunAll()
+	}
+	if got := s.Allocated(); got != before {
+		t.Fatalf("sequential cycles grew the event population %d -> %d", before, got)
+	}
+}

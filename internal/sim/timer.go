@@ -7,23 +7,28 @@ type Timer struct {
 	sim *Simulator
 	fn  func()
 	ev  *Event
+	// fireFn is t.fire bound once at construction; taking the method value
+	// inside Reset would allocate a fresh closure on every (re)arm.
+	fireFn func()
 }
 
 // NewTimer creates a stopped timer that runs fn when it expires.
 func NewTimer(s *Simulator, fn func()) *Timer {
-	return &Timer{sim: s, fn: fn}
+	t := &Timer{sim: s, fn: fn}
+	t.fireFn = t.fire
+	return t
 }
 
 // Reset (re)arms the timer to fire after d, cancelling any pending expiry.
 func (t *Timer) Reset(d Duration) {
 	t.Stop()
-	t.ev = t.sim.Schedule(d, t.fire)
+	t.ev = t.sim.Schedule(d, t.fireFn)
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	t.ev = t.sim.At(at, t.fire)
+	t.ev = t.sim.At(at, t.fireFn)
 }
 
 // ArmIfIdle arms the timer for d only if it is not already pending.
@@ -42,7 +47,7 @@ func (t *Timer) Stop() {
 }
 
 // Pending reports whether the timer is armed and has not yet fired.
-func (t *Timer) Pending() bool { return t.ev != nil && !t.ev.Canceled() }
+func (t *Timer) Pending() bool { return t.ev != nil }
 
 // Deadline returns the expiry time of a pending timer; valid only when
 // Pending() is true.
@@ -53,6 +58,9 @@ func (t *Timer) Deadline() Time {
 	return t.ev.When()
 }
 
+// fire clears the pending handle before running the callback: the event has
+// fired and been recycled, so holding the stale pointer any longer would
+// violate the Event lifetime contract (see package comment).
 func (t *Timer) fire() {
 	t.ev = nil
 	t.fn()

@@ -98,6 +98,12 @@ type Conn struct {
 	lastOOO  seqRange // most recently received island (first SACK block)
 	delAcked int      // full segments since last ACK
 
+	// Per-connection scratch for SACK encoding, so loss-recovery ACKs do not
+	// allocate. Both are consumed synchronously by transmit (EncodeTCP copies
+	// options into the packet buffer) before the next use.
+	sackScratch [packet.MaxSACKBlocks]packet.SACKBlock
+	optScratch  [2 + 8*packet.MaxSACKBlocks]byte
+
 	// --- app interface ---
 	// OnRecv is called with each chunk of newly in-order-delivered payload.
 	OnRecv func(n int)

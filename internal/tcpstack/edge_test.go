@@ -49,14 +49,14 @@ func TestTimeWaitReAcksRetransmittedFIN(t *testing.T) {
 	// Drop the client's final ACK of the server FIN exactly once so the
 	// server retransmits its FIN into the client's TIME_WAIT.
 	dropped := false
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		tc := p.TCP()
 		if !dropped && tc.HasFlags(packet.FlagACK) && !tc.HasFlags(packet.FlagFIN) &&
 			p.PayloadLen() == 0 && cli.State() == StateTimeWait {
 			dropped = true
-			return nil
+			return nil, nil
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	b.s.RunFor(3 * sim.Second)
 	_ = srv
@@ -111,7 +111,7 @@ func TestClassicECNLatchUntilCWR(t *testing.T) {
 	marked := false
 	var eceSeen, cwrSeen int
 	count := 0
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if p.PayloadLen() > 0 {
 			count++
 			if count == 10 && !marked {
@@ -122,13 +122,13 @@ func TestClassicECNLatchUntilCWR(t *testing.T) {
 				cwrSeen++
 			}
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
-	b.hosts[1].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[1].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if p.TCP().HasFlags(packet.FlagECE) {
 			eceSeen++
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	b.s.RunFor(100 * sim.Millisecond)
 	if srv.Delivered != 200_000 {
@@ -184,11 +184,11 @@ func TestLossyDeliveryProperty(t *testing.T) {
 		loss := float64(lossPct%10) / 100
 		b := newBench(t, 2, smallCfg(), netsim.REDConfig{}, 1e9)
 		rng := rand.New(rand.NewSource(seed))
-		b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+		b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 			if p.PayloadLen() > 0 && rng.Float64() < loss {
-				return nil
+				return nil, nil
 			}
-			return []*packet.Packet{p}
+			return p, nil
 		}
 		var srv *Conn
 		b.stacks[1].Listen(5001, func(c *Conn) { srv = c })

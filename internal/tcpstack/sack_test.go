@@ -112,15 +112,15 @@ func burstLossRun(t *testing.T, sackOn bool, burst int) (*Conn, *Conn) {
 	cfg.SACK = sackOn
 	b := newBench(t, 2, cfg, netsim.REDConfig{}, 1e9)
 	count, dropped := 0, 0
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if p.PayloadLen() > 0 {
 			count++
 			if count >= 30 && dropped < burst {
 				dropped++
-				return nil
+				return nil, nil
 			}
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	cli, srv := b.transfer(t, 0, 1, 500_000, 2*sim.Second)
 	if srv.Delivered != 500_000 {
@@ -158,11 +158,11 @@ func TestSACKWithHeavyRandomLoss(t *testing.T) {
 	cfg := smallCfg()
 	b := newBench(t, 2, cfg, netsim.REDConfig{}, 1e9)
 	rng := b.s.Rand()
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if p.PayloadLen() > 0 && rng.Float64() < 0.05 {
-			return nil
+			return nil, nil
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	_, srv := b.transfer(t, 0, 1, 1_000_000, 5*sim.Second)
 	if srv.Delivered != 1_000_000 {
@@ -175,22 +175,22 @@ func TestSACKBlockOrderingMostRecentFirst(t *testing.T) {
 	b := newBench(t, 2, cfg, netsim.REDConfig{}, 1e9)
 	// Capture SACK options emitted by the receiver.
 	var firstBlocks []packet.SACKBlock
-	b.hosts[1].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[1].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if d := packet.FindOption(p.TCP().Options(), packet.OptSACK); d != nil && firstBlocks == nil {
 			firstBlocks = packet.ParseSACK(d)
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	// Drop one early segment to create an island.
 	count := 0
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if p.PayloadLen() > 0 {
 			count++
 			if count == 5 {
-				return nil
+				return nil, nil
 			}
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	b.transfer(t, 0, 1, 100_000, 100*sim.Millisecond)
 	if firstBlocks == nil {

@@ -394,7 +394,7 @@ func (c *Conn) sendSegment(abs, segLen int64, fin bool) {
 		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
 		Seq: c.wireSeq(abs), Ack: c.wireAck(c.rcvNxt),
 		Flags: flags, Window: c.advWindow(),
-		Options: packet.EncodeSACK(nil, c.sackBlocks()),
+		Options: packet.EncodeSACK(c.optScratch[:0], c.sackBlocks()),
 	}, int(segLen), ecn)
 	c.ackSent()
 
@@ -417,7 +417,7 @@ func (c *Conn) transmit(f packet.TCPFields, payloadLen int, ecn packet.ECN) {
 	if c.cfg.ECN == ECNDCTCP {
 		ecn = packet.ECT0
 	}
-	p := packet.Build(c.stack.Host.Addr, c.key.remoteAddr, ecn, f, payloadLen)
+	p := packet.BuildIn(c.stack.Host.Pool, c.stack.Host.Addr, c.key.remoteAddr, ecn, f, payloadLen)
 	p.FlowTag = c.FlowTag
 	c.SentSegs++
 	c.nicQueued += int64(p.IPLen())

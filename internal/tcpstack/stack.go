@@ -109,14 +109,19 @@ func (st *Stack) allocPort(raddr packet.Addr, rport uint16) uint16 {
 // HandlePacket implements netsim.Handler: demux to a connection, or create
 // one for a SYN to a listening port.
 func (st *Stack) HandlePacket(p *packet.Packet) {
+	// The stack terminates every segment handed to it: receive() copies what
+	// it needs (reassembly tracks byte ranges, not packets), so the packet is
+	// recycled on every exit path below.
 	ip := p.IP()
 	if !ip.Valid() || ip.Protocol() != packet.ProtoTCP {
 		st.DroppedSegs++
+		st.Host.Pool.Put(p)
 		return
 	}
 	t := ip.TCP()
 	if !t.Valid() {
 		st.DroppedSegs++
+		st.Host.Pool.Put(p)
 		return
 	}
 	key := connKey{t.DstPort(), ip.Src(), t.SrcPort()}
@@ -129,14 +134,17 @@ func (st *Stack) HandlePacket(p *packet.Packet) {
 				onAccept(c)
 				st.DeliveredSegs++
 				c.receive(p)
+				st.Host.Pool.Put(p)
 				return
 			}
 		}
 		st.DroppedSegs++
+		st.Host.Pool.Put(p)
 		return
 	}
 	st.DeliveredSegs++
 	c.receive(p)
+	st.Host.Pool.Put(p)
 }
 
 // remove deletes a closed connection from the demux table.

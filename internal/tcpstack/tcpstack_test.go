@@ -197,14 +197,14 @@ func TestECTMarkingOnData(t *testing.T) {
 	cfg.ECN = ECNRFC3168
 	b := newBench(t, 2, cfg, netsim.REDConfig{}, 1e9)
 	var ectData, notECTAcks int
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if p.PayloadLen() > 0 && p.IP().ECN() == packet.ECT0 {
 			ectData++
 		}
 		if p.PayloadLen() == 0 && p.IP().ECN() == packet.NotECT {
 			notECTAcks++
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	b.transfer(t, 0, 1, 100_000, 50*sim.Millisecond)
 	if ectData == 0 {
@@ -217,15 +217,15 @@ func TestFastRetransmit(t *testing.T) {
 	// Drop exactly one mid-stream data packet.
 	dropped := false
 	count := 0
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if p.PayloadLen() > 0 {
 			count++
 			if count == 20 && !dropped {
 				dropped = true
-				return nil
+				return nil, nil
 			}
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	cli, srv := b.transfer(t, 0, 1, 500_000, 100*sim.Millisecond)
 	if !dropped {
@@ -249,14 +249,14 @@ func TestRTORecoversTailDrop(t *testing.T) {
 	const total = 30_000 // ~21 segments
 	segs := total/1460 + 1
 	count := 0
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if p.PayloadLen() > 0 {
 			count++
 			if count >= segs-2 && count <= segs {
-				return nil
+				return nil, nil
 			}
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	cli, srv := b.transfer(t, 0, 1, total, 500*sim.Millisecond)
 	if srv.Delivered != total {
@@ -280,11 +280,11 @@ func TestRandomLossEventuallyDelivers(t *testing.T) {
 	// Property-style: with 2% random loss everything is still delivered.
 	b := newBench(t, 2, smallCfg(), netsim.REDConfig{}, 1e9)
 	rng := b.s.Rand()
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if p.PayloadLen() > 0 && rng.Float64() < 0.02 {
-			return nil
+			return nil, nil
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	_, srv := b.transfer(t, 0, 1, 2_000_000, 3*sim.Second)
 	if srv.Delivered != 2_000_000 {
@@ -301,8 +301,8 @@ func TestFlowControlLimitsInflight(t *testing.T) {
 	cfg.WScale = 0
 	b := newBench(t, 2, cfg, netsim.REDConfig{}, 1e9)
 	maxInflight := int64(0)
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
-		return []*packet.Packet{p}
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
+		return p, nil
 	}
 	cli, srv := b.transfer(t, 0, 1, 1_000_000, 100*sim.Millisecond)
 	_ = maxInflight
@@ -322,11 +322,11 @@ func TestSubMSSSegmentsWhenWindowTiny(t *testing.T) {
 	cfg.WScale = 0
 	b := newBench(t, 2, cfg, netsim.REDConfig{}, 1e9)
 	var subMSS int
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if n := p.PayloadLen(); n > 0 && n < 1460 {
 			subMSS++
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	_, srv := b.transfer(t, 0, 1, 7000, 200*sim.Millisecond)
 	if srv.Delivered != 7000 {
@@ -345,12 +345,12 @@ func TestIgnoreRwndStack(t *testing.T) {
 	b := newBench(t, 2, cfg, netsim.REDConfig{}, 1e9)
 	var maxPayloadBurst int64
 	var inflight int64
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		inflight += int64(p.PayloadLen())
 		if inflight > maxPayloadBurst {
 			maxPayloadBurst = inflight
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	b.transfer(t, 0, 1, 1_000_000, 50*sim.Millisecond)
 	// A conforming stack would never exceed 2 segments in flight; the
@@ -440,12 +440,12 @@ func TestSynRetransmission(t *testing.T) {
 	b := newBench(t, 2, smallCfg(), netsim.REDConfig{}, 1e9)
 	// Drop the first SYN only.
 	first := true
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if p.TCP().HasFlags(packet.FlagSYN) && first {
 			first = false
-			return nil
+			return nil, nil
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	cli, srv := b.transfer(t, 0, 1, 1000, sim.Second)
 	if cli.State() != StateEstablished {
@@ -459,17 +459,17 @@ func TestSynRetransmission(t *testing.T) {
 func TestDelayedAckCoalesces(t *testing.T) {
 	b := newBench(t, 2, smallCfg(), netsim.REDConfig{}, 1e9)
 	var acks, dataSegs int
-	b.hosts[1].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[1].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if p.PayloadLen() == 0 && p.TCP().HasFlags(packet.FlagACK) && !p.TCP().HasFlags(packet.FlagSYN) {
 			acks++
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
-	b.hosts[0].Egress = func(p *packet.Packet) []*packet.Packet {
+	b.hosts[0].Egress = func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 		if p.PayloadLen() > 0 {
 			dataSegs++
 		}
-		return []*packet.Packet{p}
+		return p, nil
 	}
 	b.transfer(t, 0, 1, 1_000_000, 100*sim.Millisecond)
 	if acks == 0 || dataSegs == 0 {

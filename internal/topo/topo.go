@@ -82,6 +82,7 @@ const DefaultMarkThreshold = 90_000
 // Net is a built topology.
 type Net struct {
 	Sim      *sim.Simulator
+	Pool     *packet.Pool // shared packet free list for everything on Sim
 	Switches []*netsim.Switch
 	Hosts    []*netsim.Host
 	Stacks   []*tcpstack.Stack
@@ -121,7 +122,7 @@ func (n *Net) DropRate() float64 {
 // newNet allocates the container and simulator.
 func newNet(o Options) *Net {
 	o = o.withDefaults()
-	n := &Net{Sim: sim.New(o.Seed), Opts: o}
+	n := &Net{Sim: sim.New(o.Seed), Pool: packet.NewPool(), Opts: o}
 	if o.Faults != nil && o.Faults.Enabled() {
 		seed := o.FaultSeed
 		if seed == 0 {
@@ -144,6 +145,7 @@ func (n *Net) newLink(name string, dst netsim.Handler) *netsim.Link {
 func (n *Net) addSwitch(name string) *netsim.Switch {
 	sw := netsim.NewSwitch(n.Sim, name,
 		netsim.NewSharedBuffer(n.Opts.BufferBytes, n.Opts.BufferAlpha))
+	sw.Pool = n.Pool
 	n.Switches = append(n.Switches, sw)
 	return sw
 }
@@ -152,6 +154,7 @@ func (n *Net) addSwitch(name string) *netsim.Switch {
 func (n *Net) addHost(sw *netsim.Switch, addr packet.Addr, name string) int {
 	o := n.Opts
 	h := netsim.NewHost(n.Sim, name, addr)
+	h.Pool = n.Pool
 	h.NIC = n.newLink(name+".up", sw)
 	down := n.newLink(name+".down", h)
 	sw.AddRoute(addr, sw.AddPort(down, o.RED))

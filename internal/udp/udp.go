@@ -41,12 +41,16 @@ func (e *Endpoint) HandlePacket(p *packet.Packet) {
 	ip := p.IP()
 	if !ip.Valid() || ip.Protocol() != packet.ProtoUDP {
 		if e.next != nil {
+			// Ownership passes to the chained demux (which releases it).
 			e.next.HandlePacket(p)
+			return
 		}
+		e.Host.Pool.Put(p)
 		return
 	}
 	u := ip.UDP()
 	if !u.Valid() {
+		e.Host.Pool.Put(p)
 		return
 	}
 	payload := int(ip.TotalLen()) - ip.HeaderLen() - packet.UDPHeaderLen
@@ -55,11 +59,12 @@ func (e *Endpoint) HandlePacket(p *packet.Packet) {
 	if e.OnRecv != nil {
 		e.OnRecv(ip.Src(), u.SrcPort(), u.DstPort(), payload)
 	}
+	e.Host.Pool.Put(p)
 }
 
 // Send emits one datagram of n payload bytes.
 func (e *Endpoint) Send(dst packet.Addr, sport, dport uint16, n int) {
-	p := packet.BuildUDP(e.Host.Addr, dst, packet.NotECT, sport, dport, n)
+	p := packet.BuildUDPIn(e.Host.Pool, e.Host.Addr, dst, packet.NotECT, sport, dport, n)
 	e.Sent++
 	e.SentBytes += int64(n)
 	e.Host.Output(p)
