@@ -10,13 +10,16 @@
 //	acdcsim -parallel 0 -all   run experiments on one worker per CPU
 //	acdcsim -faults loss fig8  inject a named fault profile (chaos run)
 //	acdcsim -faults drop=0.01,jitter=50us fig8
+//	acdcsim -restart warm@1ms fig8       restart every vSwitch mid-run
+//	acdcsim -restart stale@1ms,age=500us,down=50us fig8
 //
 // -parallel N runs the selected experiments over N workers (0 = one per
 // CPU; the default 1 is the sequential path). Each experiment owns its own
 // simulator, so results and their printed order are identical to a
 // sequential run — only wall time changes.
 //
-// Run `acdcsim -faults help` to list the built-in profiles.
+// Run `acdcsim -faults list` to list the built-in profiles and
+// `acdcsim -restart list` to list the restart variants.
 package main
 
 import (
@@ -36,12 +39,13 @@ func main() {
 	long := flag.Bool("long", false, "run closer-to-paper durations (~10x)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 1, "experiment workers (0 = one per CPU, 1 = sequential)")
-	faultSpec := flag.String("faults", "", "fault profile: a built-in name or k=v list (`help` to list)")
+	faultSpec := flag.String("faults", "", "fault profile: a built-in name or k=v list (`list` to enumerate)")
+	restartSpec := flag.String("restart", "", "vSwitch restart plan: mode[@time][,key=val...] (`list` to enumerate)")
 	flag.Parse()
 
 	var prof *faults.Profile
 	if *faultSpec != "" {
-		if *faultSpec == "help" {
+		if *faultSpec == "help" || *faultSpec == "list" {
 			fmt.Println("built-in fault profiles:")
 			for _, name := range faults.Names() {
 				p, _ := faults.Lookup(name)
@@ -56,6 +60,27 @@ func main() {
 			os.Exit(2)
 		}
 		prof = &p
+	}
+
+	var restart *faults.RestartPlan
+	if *restartSpec != "" {
+		if *restartSpec == "help" || *restartSpec == "list" {
+			fmt.Println("vSwitch restart variants (-restart mode[@time][,key=val...]):")
+			for _, name := range faults.RestartVariants() {
+				p, _ := faults.LookupRestart(name)
+				fmt.Printf("  %-8s %s\n", name, p.String())
+			}
+			fmt.Println("keys: down=<dur> (outage window), age=<dur> (stale snapshot age),")
+			fmt.Println("      every=<dur> (recur while flows remain), host=<idx> (repeatable)")
+			fmt.Println("example: -restart stale@1ms,age=500us,down=50us,host=0")
+			return
+		}
+		p, err := faults.ParseRestart(*restartSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acdcsim: bad -restart %q: %v\n", *restartSpec, err)
+			os.Exit(2)
+		}
+		restart = &p
 	}
 
 	if *list {
@@ -73,17 +98,20 @@ func main() {
 		}
 	}
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: acdcsim [-long] [-seed N] [-faults P] (-list | -all | <experiment-id>...)")
+		fmt.Fprintln(os.Stderr, "usage: acdcsim [-long] [-seed N] [-faults P] [-restart R] (-list | -all | <experiment-id>...)")
 		fmt.Fprintln(os.Stderr, "run `acdcsim -list` for available experiments")
 		os.Exit(2)
 	}
 
-	cfg := experiments.RunConfig{Long: *long, Seed: *seed, Faults: prof}
+	cfg := experiments.RunConfig{Long: *long, Seed: *seed, Faults: prof, Restart: restart}
 	if prof != nil && prof.Enabled() {
 		// Announce chaos runs up front (and only then, so fault-free output
 		// is byte-identical to a build without the flag).
 		fmt.Printf("fault injection: %s (seed %d) on %s\n\n",
 			prof.String(), *seed, strings.Join(ids, " "))
+	}
+	if restart != nil {
+		fmt.Printf("vSwitch restart: %s on %s\n\n", restart.String(), strings.Join(ids, " "))
 	}
 	exit := 0
 	var jobs []experiments.Job

@@ -140,11 +140,17 @@ func (v *VSwitch) senderEgress(f *Flow, p *packet.Packet, t packet.TCP, syn bool
 	}
 
 	if !f.issValid {
-		// Attached mid-stream: anchor absolute space at this segment.
+		// Adopted mid-stream (no handshake observed — vSwitch attached or
+		// restarted under a live connection): anchor absolute space at this
+		// segment and enter the conservative resync mode — the window scale
+		// and feedback baseline are unknown, so enforcement and policing
+		// stay off until one clean feedback round completes (resync.go).
 		f.iss = t.Seq()
 		f.issValid = true
 		f.SndUna, f.SndNxt = 0, 0
 		f.alphaSeq, f.cutSeq = 0, 0
+		f.enterResyncLocked()
+		v.Metrics.FlowsAdoptedMidstream.Inc()
 	}
 
 	if plen > 0 || t.HasFlags(packet.FlagFIN) {
@@ -155,7 +161,9 @@ func (v *VSwitch) senderEgress(f *Flow, p *packet.Packet, t packet.TCP, syn bool
 			f.finFwd = true
 		}
 
-		if v.Cfg.Police && plen > 0 {
+		// Policing trusts the tracked window; a resyncing flow's window is
+		// exactly what cannot be trusted yet, so policing waits with it.
+		if v.Cfg.Police && plen > 0 && f.resync == resyncNone {
 			allowance := f.CwndBytes
 			if f.prevCwndBytes > allowance {
 				allowance = f.prevCwndBytes

@@ -33,25 +33,107 @@ func ackPkt(src, dst packet.Addr, sp, dp uint16, ack uint32, wnd uint16) *packet
 	}, 0)
 }
 
-func TestMidstreamAttachAnchorsSequenceSpace(t *testing.T) {
+func TestMidstreamAdoptionResync(t *testing.T) {
 	// A vSwitch attached to an already-running connection (no SYN observed)
-	// must anchor its absolute sequence space at the first data segment and
-	// keep tracking from there.
-	v, host, _ := loneVSwitch(t, DefaultConfig())
+	// must anchor its absolute sequence space at the first data segment, land
+	// in the conservative resync mode (no RWND rewrite, no policing), and
+	// only re-enter enforcement after one clean PACK/FACK feedback round.
+	cases := []struct {
+		name string
+		// feedback ACKs (cumulative totals) fed after two data segments; nil
+		// entries are plain ACKs with no PACK option.
+		feedback []*uint32
+		resynced bool // expect resync complete at the end
+		rewrites int64
+	}{
+		{
+			name:     "adoption alone stays conservative",
+			feedback: nil,
+			resynced: false,
+		},
+		{
+			name:     "one feedback packet re-anchors but does not complete",
+			feedback: []*uint32{u32p(1000)},
+			resynced: false,
+		},
+		{
+			name:     "clean feedback round restores enforcement",
+			feedback: []*uint32{u32p(1000), u32p(2000)},
+			resynced: true,
+		},
+		{
+			name:     "non-AC/DC peer never completes resync",
+			feedback: []*uint32{nil, nil, nil, nil},
+			resynced: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, host, _ := loneVSwitch(t, DefaultConfig())
+			peer := packet.MakeAddr(10, 0, 0, 2)
+			v.Egress(dataPkt(host.Addr, peer, 100, 200, 777_000, 1000))
+			f := v.Table.Get(FlowKey{Src: host.Addr, Dst: peer, SPort: 100, DPort: 200})
+			if f == nil {
+				t.Fatal("no flow created mid-stream")
+			}
+			if s := f.Snapshot(); s.SndNxt != 1000 {
+				t.Fatalf("SndNxt = %d, want 1000 (anchored at first segment)", s.SndNxt)
+			}
+			if !f.Resyncing() {
+				t.Fatal("mid-stream adoption must enter resync")
+			}
+			if got := v.Stats().FlowsAdoptedMidstream; got != 1 {
+				t.Fatalf("FlowsAdoptedMidstream = %d", got)
+			}
+			v.Egress(dataPkt(host.Addr, peer, 100, 200, 778_000, 1000))
+			if s := f.Snapshot(); s.SndNxt != 2000 {
+				t.Fatalf("SndNxt = %d after second segment", s.SndNxt)
+			}
+			for i, total := range tc.feedback {
+				ackAbs := uint32(778_000 + 1000) // covers both segments
+				if total == nil {
+					v.Ingress(ackPkt(peer, host.Addr, 200, 100, ackAbs, 65535))
+				} else {
+					v.Ingress(packAck(peer, host.Addr, 200, 100, ackAbs, 65535, *total, *total))
+				}
+				// The conservative invariant, checked at every step: an
+				// unsynced flow must never have its RWND rewritten.
+				if f.Resyncing() && v.Stats().RwndRewrites != 0 {
+					t.Fatalf("RWND rewritten while resyncing (feedback %d)", i)
+				}
+			}
+			if got := f.Resyncing(); got == tc.resynced {
+				t.Fatalf("Resyncing = %v at end (state %s)", got, f.ResyncState())
+			}
+			wantResynced := int64(0)
+			if tc.resynced {
+				wantResynced = 1
+			}
+			if got := v.Stats().FlowsResynced; got != wantResynced {
+				t.Fatalf("FlowsResynced = %d, want %d", got, wantResynced)
+			}
+		})
+	}
+}
+
+func u32p(v uint32) *uint32 { return &v }
+
+func TestPolicingSuspendedDuringResync(t *testing.T) {
+	// Policing drops segments beyond the virtual window — but an adopted
+	// flow's window is a guess until the first clean feedback round, so
+	// resyncing flows must pass unpoliced (conservative mode).
+	cfg := DefaultConfig()
+	cfg.Police = true
+	v, host, _ := loneVSwitch(t, cfg)
 	peer := packet.MakeAddr(10, 0, 0, 2)
-	d1 := dataPkt(host.Addr, peer, 100, 200, 777_000, 1000)
-	v.Egress(d1)
-	f := v.Table.Get(FlowKey{Src: host.Addr, Dst: peer, SPort: 100, DPort: 200})
-	if f == nil {
-		t.Fatal("no flow created mid-stream")
+	v.Egress(dataPkt(host.Addr, peer, 1, 2, 777_000, 8960))
+	// A burst far beyond IW+slack: would be dropped on an enforced flow
+	// (TestPolicingSlackAllowsInFlightAfterCut), must pass on a resyncing one.
+	if out := v.Egress(dataPkt(host.Addr, peer, 1, 2, 777_000+500_000, 8960)); len(out) != 1 {
+		t.Fatal("resyncing flow was policed")
 	}
-	s := f.Snapshot()
-	if s.SndNxt != 1000 {
-		t.Fatalf("SndNxt = %d, want 1000 (anchored at first segment)", s.SndNxt)
-	}
-	v.Egress(dataPkt(host.Addr, peer, 100, 200, 778_000, 1000))
-	if s = f.Snapshot(); s.SndNxt != 2000 {
-		t.Fatalf("SndNxt = %d after second segment", s.SndNxt)
+	if v.Stats().PolicingDrops != 0 {
+		t.Fatalf("PolicingDrops = %d during resync", v.Stats().PolicingDrops)
 	}
 }
 

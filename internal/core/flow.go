@@ -107,6 +107,15 @@ type Flow struct {
 	fbLastTotal uint32 // receiver side: TotalBytes at last feedback
 	fbLastCE    bool
 
+	// --- mid-flow resynchronization (resync.go) ---
+	// resync is the conservative-mode state machine for flows adopted
+	// without a handshake (mid-stream pickup, snapshot restore); while it
+	// is not resyncNone, RWND enforcement and policing are suspended.
+	resync resyncState
+	// resyncSeq is the absolute sequence one clean feedback round must
+	// cover before enforcement resumes.
+	resyncSeq int64
+
 	// --- lifecycle ---
 	lastActive sim.Time
 	finFwd     bool // FIN seen in the data direction
@@ -122,6 +131,10 @@ type Snapshot struct {
 	SndNxt      int64
 	TotalBytes  uint32
 	MarkedBytes uint32
+	// Resyncing reports conservative mode: the flow was adopted without a
+	// handshake and enforcement is suspended until one clean feedback round
+	// completes (resync.go).
+	Resyncing bool
 }
 
 // Snapshot returns a locked copy of the flow's key state.
@@ -132,6 +145,7 @@ func (f *Flow) Snapshot() Snapshot {
 		CwndBytes: f.CwndBytes, Alpha: f.Alpha,
 		SndUna: f.SndUna, SndNxt: f.SndNxt,
 		TotalBytes: f.TotalBytes, MarkedBytes: f.MarkedBytes,
+		Resyncing: f.resync != resyncNone,
 	}
 }
 

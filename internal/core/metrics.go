@@ -70,6 +70,17 @@ type DatapathMetrics struct {
 	FlowsEvicted     *metrics.LazyCounter // flows_evicted_total: flows removed by capacity-pressure eviction
 	FeedbackTimeouts *metrics.LazyCounter // feedback_timeouts_total: ACKs processed while PACK/FACK feedback was stale
 
+	// Warm restart and mid-flow resynchronization (snapshot.go, resync.go).
+	// Lazy for the same reason: a run that never restarts keeps telemetry
+	// byte-identical to a build without the restart machinery.
+	Restarts              *metrics.LazyCounter // vswitch_restarts_total: Restart() invocations (cold or warm)
+	SnapshotSaves         *metrics.LazyCounter // snapshot_save_total: flow-table checkpoints taken
+	SnapshotRestores      *metrics.LazyCounter // snapshot_restore_total: checkpoints decoded and installed
+	SnapshotCorrupt       *metrics.LazyCounter // snapshot_corrupt_total: checkpoints rejected (failed open to a fresh table)
+	FlowsResynced         *metrics.LazyCounter // flows_resynced_total: flows that completed the conservative resync round
+	FlowsAdoptedMidstream *metrics.LazyCounter // flows_adopted_midstream_total: sender flows adopted without a handshake
+	FeedbackResets        *metrics.LazyCounter // feedback_resets_total: cumulative-feedback regressions re-baselined (peer vSwitch restarted mid-flow)
+
 	// Per-algorithm CWND/α distributions, sampled once per RTT at each α
 	// update. Lazily created per virtual-CC name (not hot path: flow setup).
 	mu         sync.Mutex
@@ -115,8 +126,17 @@ func NewDatapathMetrics(reg *metrics.Registry) *DatapathMetrics {
 		FlowTableFull:    reg.Lazy("flow_table_full_total"),
 		FlowsEvicted:     reg.Lazy("flows_evicted_total"),
 		FeedbackTimeouts: reg.Lazy("feedback_timeouts_total"),
-		cwndHists:        map[string]*metrics.Histogram{},
-		alphaHists:       map[string]*metrics.Histogram{},
+
+		Restarts:              reg.Lazy("vswitch_restarts_total"),
+		SnapshotSaves:         reg.Lazy("snapshot_save_total"),
+		SnapshotRestores:      reg.Lazy("snapshot_restore_total"),
+		SnapshotCorrupt:       reg.Lazy("snapshot_corrupt_total"),
+		FlowsResynced:         reg.Lazy("flows_resynced_total"),
+		FlowsAdoptedMidstream: reg.Lazy("flows_adopted_midstream_total"),
+		FeedbackResets:        reg.Lazy("feedback_resets_total"),
+
+		cwndHists:  map[string]*metrics.Histogram{},
+		alphaHists: map[string]*metrics.Histogram{},
 	}
 }
 
@@ -162,6 +182,13 @@ type Stats struct {
 	FailOpen, MalformedOptions   int64
 	FlowTableFull, FlowsEvicted  int64
 	FeedbackTimeouts             int64
+	Restarts                     int64
+	SnapshotSaves                int64
+	SnapshotRestores             int64
+	SnapshotCorrupt              int64
+	FlowsResynced                int64
+	FlowsAdoptedMidstream        int64
+	FeedbackResets               int64
 }
 
 // Stats reads the current counter values into a Stats snapshot.
@@ -187,5 +214,13 @@ func (v *VSwitch) Stats() Stats {
 		FlowTableFull:    m.FlowTableFull.Value(),
 		FlowsEvicted:     m.FlowsEvicted.Value(),
 		FeedbackTimeouts: m.FeedbackTimeouts.Value(),
+
+		Restarts:              m.Restarts.Value(),
+		SnapshotSaves:         m.SnapshotSaves.Value(),
+		SnapshotRestores:      m.SnapshotRestores.Value(),
+		SnapshotCorrupt:       m.SnapshotCorrupt.Value(),
+		FlowsResynced:         m.FlowsResynced.Value(),
+		FlowsAdoptedMidstream: m.FlowsAdoptedMidstream.Value(),
+		FeedbackResets:        m.FeedbackResets.Value(),
 	}
 }

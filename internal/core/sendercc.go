@@ -30,12 +30,27 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 	now := v.Sim.Now()
 	var totalDelta, markedDelta uint32
 	if haveFeedback {
-		totalDelta = info.TotalBytes - f.lastTotal
-		markedDelta = info.MarkedBytes - f.lastMarked
+		if f.resync == resyncAwaitFeedback {
+			// First feedback after a mid-stream adoption or snapshot
+			// restore: the peer's cumulative counters are unanchored
+			// relative to our state, so this packet only re-baselines —
+			// crediting a delta here would smear stale history into α.
+		} else {
+			totalDelta = info.TotalBytes - f.lastTotal
+			markedDelta = info.MarkedBytes - f.lastMarked
+			if totalDelta >= 1<<31 || markedDelta >= 1<<31 {
+				// The cumulative counters went backwards: the peer's
+				// vSwitch restarted mid-flow (its receiver module restarted
+				// counting from zero). Re-baseline with no delta instead of
+				// crediting a wrapped ~4GB window of phantom bytes.
+				totalDelta, markedDelta = 0, 0
+				v.Metrics.FeedbackResets.Inc()
+			}
+			f.windowTotal += totalDelta
+			f.windowMarked += markedDelta
+		}
 		f.lastTotal = info.TotalBytes
 		f.lastMarked = info.MarkedBytes
-		f.windowTotal += totalDelta
-		f.windowMarked += markedDelta
 		f.lastFeedbackAt = now
 		f.fbStaleMark = 0
 	}
@@ -80,6 +95,11 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 		}
 	}
 	f.lastAckWire = t.Seq()
+
+	// One transition of the resync machine per feedback-carrying ACK
+	// (resync.go): first feedback re-anchors, a later feedback ACK covering
+	// resyncSeq completes the clean round and re-enables enforcement below.
+	v.resyncAdvanceLocked(f, haveFeedback, absAck)
 
 	// α update, roughly once per RTT (when the ACK passes the snapshot of
 	// snd_nxt taken at the previous update).
@@ -135,9 +155,11 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 	v.clampFlow(f)
 
 	// --- enforcement (§3.3) ---
+	// A resyncing flow stays in conservative mode: the guest keeps its own
+	// advertised window untouched until the clean feedback round completes.
 	enforced := f.enforcedWindow(v.minRwnd(f))
 	overwrote := false
-	if v.Cfg.EnforceRwnd {
+	if v.Cfg.EnforceRwnd && f.resync == resyncNone {
 		field := enforced >> f.PeerWScale
 		if field == 0 {
 			field = 1

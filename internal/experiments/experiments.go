@@ -33,6 +33,11 @@ type RunConfig struct {
 	// disabled profile leaves the fault-free code path untouched, so default
 	// runs stay byte-identical.
 	Faults *faults.Profile
+	// Restart, when non-nil, schedules a vSwitch restart (cold/warm/stale/
+	// corrupt; see faults.ParseRestart) in every topology the experiment
+	// builds. Only hosts with an AC/DC module are affected, so CUBIC/DCTCP
+	// baseline schemes run unchanged. Nil keeps the restart machinery cold.
+	Restart *faults.RestartPlan
 }
 
 func (c RunConfig) seed() int64 {
@@ -214,6 +219,7 @@ func (s Scheme) options(cfg RunConfig, seed int64) topo.Options {
 		// experiment perturbs the per-topology seed (e.g. per-iteration
 		// seed offsets), so one -faults run replays deterministically.
 		Faults: cfg.Faults, FaultSeed: cfg.seed(),
+		Restart: cfg.Restart,
 	}
 }
 

@@ -47,6 +47,15 @@ func chaosOptions(prof *faults.Profile, seed int64) topo.Options {
 // under every fault profile. Returns a counter of violations.
 func watchRwnd(net *topo.Net) *int64 {
 	widened := new(int64)
+	for _, h := range net.Hosts {
+		wrapHostRwnd(h, widened)
+	}
+	return widened
+}
+
+// wrapHostRwnd installs the widen-watch on one host's current hooks. Restart
+// tests re-invoke it after Reattach replaces the hooks.
+func wrapHostRwnd(h *netsim.Host, widened *int64) {
 	wrap := func(orig netsim.PathHook) netsim.PathHook {
 		if orig == nil {
 			return nil
@@ -72,11 +81,8 @@ func watchRwnd(net *topo.Net) *int64 {
 			return out, extra
 		}
 	}
-	for _, h := range net.Hosts {
-		h.Egress = wrap(h.Egress)
-		h.Ingress = wrap(h.Ingress)
-	}
-	return widened
+	h.Egress = wrap(h.Egress)
+	h.Ingress = wrap(h.Ingress)
 }
 
 // chaosOutcome is everything a chaos run asserts on or compares across runs.
@@ -86,13 +92,21 @@ type chaosOutcome struct {
 	widened    int64
 	maxTable   int
 	faultTotal int64
-	fleet      string // merged vSwitch metrics snapshot text
+	fleet      string           // merged vSwitch metrics snapshot text
+	snap       metrics.Snapshot // the same snapshot, queryable by counter name
 }
 
 func runChaos(t *testing.T, prof *faults.Profile, seed int64) chaosOutcome {
 	t.Helper()
 	net := topo.Dumbbell(chaosPairs, chaosOptions(prof, seed))
 	widened := watchRwnd(net)
+	return driveChaos(net, widened)
+}
+
+// driveChaos runs the standard chaos workload (chaosPairs flows, chaosMsgs
+// messages each) on an already-built net and collects the outcome. Restart
+// tests build the net themselves so they can arm restart plans first.
+func driveChaos(net *topo.Net, widened *int64) chaosOutcome {
 	m := workload.NewManager(net)
 
 	completed := 0
@@ -136,7 +150,8 @@ func runChaos(t *testing.T, prof *faults.Profile, seed int64) chaosOutcome {
 			snaps = append(snaps, v.Metrics.Snapshot())
 		}
 	}
-	out.fleet = metrics.Merge(snaps...).Text()
+	out.snap = metrics.Merge(snaps...)
+	out.fleet = out.snap.Text()
 	if net.Faults != nil {
 		out.faultTotal = net.Faults.Total()
 	}

@@ -49,6 +49,10 @@ type Options struct {
 	// FaultSeed seeds the injector's PRNG (default: Seed), independent of
 	// the simulation RNG so the same chaos mix replays across workloads.
 	FaultSeed int64
+	// Restart, when non-nil, schedules a vSwitch restart (cold/warm/stale/
+	// corrupt) on the hosts the plan selects. Hosts without an AC/DC module
+	// are unaffected. Nil leaves the restart machinery entirely cold.
+	Restart *faults.RestartPlan
 }
 
 // Defaults fills zero fields with the paper's testbed values.
@@ -196,6 +200,7 @@ func Star(n int, o Options) *Net {
 	for i := 0; i < n; i++ {
 		net.addHost(sw, hostAddr(i), fmt.Sprintf("h%d", i))
 	}
+	net.scheduleRestart()
 	return net
 }
 
@@ -218,6 +223,7 @@ func Dumbbell(pairs int, o Options) *Net {
 	for i := 0; i < pairs; i++ {
 		right.AddRoute(net.Hosts[i].Addr, rl)
 	}
+	net.scheduleRestart()
 	return net
 }
 
@@ -264,7 +270,24 @@ func ParkingLot(o Options) *Net {
 			sws[s].AddRoute(addr, trunks[s].fwd)
 		}
 	}
+	net.scheduleRestart()
 	return net
+}
+
+// scheduleRestart arms Opts.Restart once every host (and its AC/DC module,
+// where attached) exists. Called at the end of each topology builder.
+func (n *Net) scheduleRestart() {
+	p := n.Opts.Restart
+	if p == nil {
+		return
+	}
+	var targets []faults.RestartTarget
+	for i, v := range n.ACDC {
+		if v != nil && p.AppliesTo(i) {
+			targets = append(targets, v)
+		}
+	}
+	p.Schedule(n.Sim, targets)
 }
 
 func hostAddr(i int) packet.Addr {
