@@ -11,12 +11,15 @@ package acdc
 import (
 	"testing"
 
+	"acdc/internal/audit"
 	"acdc/internal/benchkit"
 	"acdc/internal/packet"
 )
 
 // TestSenderDatapathZeroAlloc drives the Figure 11 sender-side loop
 // (egress data + ingress PACK-carrying ACK) through an established flow.
+// The fixture attaches no auditor, so this also pins that the nil-auditor
+// branch in EgressPath/IngressPath costs zero allocations.
 func TestSenderDatapathZeroAlloc(t *testing.T) {
 	ob := newOverheadBench(64)
 	f := 0
@@ -52,6 +55,26 @@ func TestReceiverDatapathZeroAlloc(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(200, round); n != 0 {
 		t.Errorf("receiver steady-state datapath: %v allocs/op, want 0", n)
+	}
+}
+
+// TestAuditedDatapathZeroAlloc attaches the invariant auditor and drives the
+// same sender loop: a violation-free audit must also be allocation-free —
+// event structs are populated on the stack and passed by value, and the lazy
+// violation counters are never touched on the clean path.
+func TestAuditedDatapathZeroAlloc(t *testing.T) {
+	ob := newOverheadBench(64)
+	audit.Attach(ob.V, audit.Config{Panic: true}) // any violation fails loudly
+	f := 0
+	round := func() {
+		ob.SenderRound(f)
+		f = (f + 1) % 64
+	}
+	for i := 0; i < 128; i++ {
+		round()
+	}
+	if n := testing.AllocsPerRun(200, round); n != 0 {
+		t.Errorf("audited steady-state datapath: %v allocs/op, want 0", n)
 	}
 }
 

@@ -12,6 +12,8 @@
 //	acdcsim -faults drop=0.01,jitter=50us fig8
 //	acdcsim -restart warm@1ms fig8       restart every vSwitch mid-run
 //	acdcsim -restart stale@1ms,age=500us,down=50us fig8
+//	acdcsim -audit fig8        check datapath invariants, log violations
+//	acdcsim -audit-panic fig8  ...or abort on the first violation
 //
 // -parallel N runs the selected experiments over N workers (0 = one per
 // CPU; the default 1 is the sequential path). Each experiment owns its own
@@ -29,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"acdc/internal/audit"
 	"acdc/internal/experiments"
 	"acdc/internal/faults"
 )
@@ -41,6 +44,8 @@ func main() {
 	parallel := flag.Int("parallel", 1, "experiment workers (0 = one per CPU, 1 = sequential)")
 	faultSpec := flag.String("faults", "", "fault profile: a built-in name or k=v list (`list` to enumerate)")
 	restartSpec := flag.String("restart", "", "vSwitch restart plan: mode[@time][,key=val...] (`list` to enumerate)")
+	auditOn := flag.Bool("audit", false, "attach the datapath invariant auditor to every AC/DC vSwitch (violations logged to stderr)")
+	auditPanic := flag.Bool("audit-panic", false, "like -audit, but the first violation aborts the run")
 	flag.Parse()
 
 	var prof *faults.Profile
@@ -98,12 +103,17 @@ func main() {
 		}
 	}
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: acdcsim [-long] [-seed N] [-faults P] [-restart R] (-list | -all | <experiment-id>...)")
+		fmt.Fprintln(os.Stderr, "usage: acdcsim [-long] [-seed N] [-faults P] [-restart R] [-audit] (-list | -all | <experiment-id>...)")
 		fmt.Fprintln(os.Stderr, "run `acdcsim -list` for available experiments")
 		os.Exit(2)
 	}
 
-	cfg := experiments.RunConfig{Long: *long, Seed: *seed, Faults: prof, Restart: restart}
+	var auditCfg *audit.Config
+	if *auditOn || *auditPanic {
+		auditCfg = &audit.Config{Panic: *auditPanic}
+	}
+
+	cfg := experiments.RunConfig{Long: *long, Seed: *seed, Faults: prof, Restart: restart, Audit: auditCfg}
 	if prof != nil && prof.Enabled() {
 		// Announce chaos runs up front (and only then, so fault-free output
 		// is byte-identical to a build without the flag).
@@ -112,6 +122,13 @@ func main() {
 	}
 	if restart != nil {
 		fmt.Printf("vSwitch restart: %s on %s\n\n", restart.String(), strings.Join(ids, " "))
+	}
+	if auditCfg != nil {
+		mode := "log"
+		if auditCfg.Panic {
+			mode = "panic"
+		}
+		fmt.Printf("invariant audit: enabled (%s mode) on %s\n\n", mode, strings.Join(ids, " "))
 	}
 	exit := 0
 	var jobs []experiments.Job

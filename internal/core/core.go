@@ -117,6 +117,12 @@ type VSwitch struct {
 	// 9 and 10 are built on this hook.
 	OnRwndComputed func(f *Flow, rwndBytes int64, overwrote bool)
 
+	// Audit, when non-nil, receives packet and state-transition events for
+	// invariant checking (internal/audit). Set it before traffic flows (it
+	// is read without synchronization from the datapath). Nil costs the hot
+	// path one branch and zero allocations.
+	Audit Auditor
+
 	lastSweep  sim.Time
 	sweepTick  int
 	sweepTimer *sim.Timer // armed only when Cfg.SweepInterval > 0
@@ -176,12 +182,16 @@ func (v *VSwitch) Detach() {
 
 // policy resolves the per-flow policy. FlowPolicy callbacks must return a
 // fully specified Policy (start from DefaultPolicy and override); β=0 is a
-// legal value meaning maximum back-off.
+// legal value meaning maximum back-off. The result is sanitized before it
+// reaches the enforcement math: an operator callback returning β>1 would
+// otherwise make Equation (1)'s cut factor exceed 1 — the window would GROW
+// on congestion — and a negative clamp would silently disable capping.
+// Snapshot restore sanitizes through the same func (flowRecord.sanitize).
 func (v *VSwitch) policy(k FlowKey) Policy {
 	if v.Cfg.FlowPolicy == nil {
 		return DefaultPolicy()
 	}
-	return v.Cfg.FlowPolicy(k)
+	return v.Cfg.FlowPolicy(k).sanitize()
 }
 
 // flowFor is the capacity-aware GetOrCreate every datapath create site goes

@@ -35,8 +35,20 @@ func pairToSlice(out, extra *packet.Packet) []*packet.Packet {
 }
 
 // EgressPath is the vSwitch hook for packets leaving the guest stack (§4's
-// ovs_dp_process_packet on the transmit side).
+// ovs_dp_process_packet on the transmit side). With an auditor attached it
+// brackets the traversal with a pre-capture and a PacketEvent; a nil auditor
+// costs one branch.
 func (v *VSwitch) EgressPath(p *packet.Packet) (*packet.Packet, *packet.Packet) {
+	if v.Audit == nil {
+		return v.egressPath(p)
+	}
+	pre := v.CapturePre(p)
+	out, extra := v.egressPath(p)
+	v.Audit.PacketEvent(v, AuditEgress, pre, out, extra, out == p)
+	return out, extra
+}
+
+func (v *VSwitch) egressPath(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 	v.Metrics.EgressSegs.Inc()
 	v.maybeSweep()
 	ip := p.IP()
@@ -174,6 +186,12 @@ func (v *VSwitch) senderEgress(f *Flow, p *packet.Packet, t packet.TCP, syn bool
 			}
 			if segEnd-f.SndUna > int64(allowance)+slack {
 				v.Metrics.PolicingDrops.Inc()
+				if a := v.Audit; a != nil {
+					a.PoliceEvent(v, PoliceEvent{Key: f.Key,
+						SegEnd: segEnd, SndUna: f.SndUna,
+						Enforced: f.enforcedWindow(v.minRwnd(f)), Slack: slack,
+						Resyncing: f.resync != resyncNone, Dropped: true})
+				}
 				return true
 			}
 		}
@@ -247,7 +265,18 @@ func getU32(b []byte) uint32 {
 }
 
 // IngressPath is the vSwitch hook for packets arriving from the network.
+// Audit bracketing mirrors EgressPath.
 func (v *VSwitch) IngressPath(p *packet.Packet) (*packet.Packet, *packet.Packet) {
+	if v.Audit == nil {
+		return v.ingressPath(p)
+	}
+	pre := v.CapturePre(p)
+	out, extra := v.ingressPath(p)
+	v.Audit.PacketEvent(v, AuditIngress, pre, out, extra, out == p)
+	return out, extra
+}
+
+func (v *VSwitch) ingressPath(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 	v.Metrics.IngressSegs.Inc()
 	v.maybeSweep()
 	ip := p.IP()

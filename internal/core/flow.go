@@ -46,6 +46,30 @@ type Policy struct {
 // DefaultPolicy is plain DCTCP enforcement.
 func DefaultPolicy() Policy { return Policy{Beta: 1} }
 
+// sanitize clamps a policy to the ranges the enforcement math tolerates:
+// β ∈ [0,1] (Equation 1 is only a *decrease* there; β>1 would grow the
+// window on congestion and NaN would poison every cut), a non-negative
+// RwndClampBytes (negative would silently disable the cap), and a known
+// virtual-CC name (an unknown one would panic flow setup; it degrades to
+// the vSwitch default instead, exactly like snapshot restore). Shared by
+// the live FlowPolicy path (VSwitch.policy) and snapshot restore
+// (flowRecord.sanitize), so both installation paths enforce one contract.
+func (p Policy) sanitize() Policy {
+	if !(p.Beta >= 0) { // NaN fails this comparison too
+		p.Beta = 1
+	}
+	if p.Beta > 1 {
+		p.Beta = 1
+	}
+	if p.RwndClampBytes < 0 {
+		p.RwndClampBytes = 0
+	}
+	if !vccKnown(p.VCC) {
+		p.VCC = ""
+	}
+	return p
+}
+
 // Flow is one direction's connection-tracking entry (~the paper's 320-byte
 // flow state). The same struct serves as sender-module state on the host
 // that sources the data and receiver-module state on the host that sinks it.
@@ -88,8 +112,13 @@ type Flow struct {
 	maxInflight               int64   // peak SndNxt−SndUna since the last ACK
 	inactivity                *sim.Timer
 	lastAckWire               uint32 // last ACK's seq field (dupack synthesis)
-	VTimeouts                 int64
-	LossEvents                int64
+	// Last ACK's raw (pre-rewrite) window field: a duplicate ACK requires an
+	// unchanged window, so pure window updates never count toward the
+	// triple-dupack loss inference.
+	lastWndRaw  uint16
+	lastWndSeen bool
+	VTimeouts   int64
+	LossEvents  int64
 	// Feedback-staleness tracking: when PACK/FACK feedback had been flowing
 	// but stops (stripped by a middlebox, lost in the fabric), the sender
 	// module freezes virtual-window growth rather than growing blind.

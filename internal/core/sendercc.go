@@ -25,6 +25,13 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 		// We never saw our guest send on this flow; nothing to enforce yet.
 		return 0, false, false
 	}
+	audit := v.Audit
+	var ev AckEvent
+	if audit != nil {
+		ev.Key = f.Key
+		ev.PrevSndUna, ev.PrevSndNxt = f.SndUna, f.SndNxt
+		ev.HaveFeedback = haveFeedback
+	}
 
 	// Feedback deltas (cumulative counters; uint32 wraparound-safe).
 	now := v.Sim.Now()
@@ -45,6 +52,12 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 				// crediting a wrapped ~4GB window of phantom bytes.
 				totalDelta, markedDelta = 0, 0
 				v.Metrics.FeedbackResets.Inc()
+			}
+			if markedDelta > totalDelta {
+				// A report cannot have marked more bytes than it delivered;
+				// corrupt feedback (fuzzed PACK payloads) is clamped here so
+				// windowMarked can never exceed windowTotal.
+				markedDelta = totalDelta
 			}
 			f.windowTotal += totalDelta
 			f.windowMarked += markedDelta
@@ -87,7 +100,14 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 				f.inactivity.Stop()
 			}
 		}
-	case acked == 0 && p.PayloadLen() == 0 && f.SndNxt > f.SndUna:
+	case acked == 0 && p.PayloadLen() == 0 && f.SndNxt > f.SndUna &&
+		t.Flags()&(packet.FlagSYN|packet.FlagFIN) == 0 &&
+		f.lastWndSeen && t.Window() == f.lastWndRaw:
+		// A duplicate ACK per RFC 5681 also requires an unchanged window
+		// field: a pure window update (the receiver opening or closing its
+		// buffer) is not evidence of loss, and a burst of them must not fake
+		// a triple-dupack, pin α to max_alpha, and collapse the virtual
+		// window.
 		f.DupAcks++
 		if f.DupAcks == 3 {
 			loss = true
@@ -95,6 +115,7 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 		}
 	}
 	f.lastAckWire = t.Seq()
+	f.lastWndRaw, f.lastWndSeen = t.Window(), true
 
 	// One transition of the resync machine per feedback-carrying ACK
 	// (resync.go): first feedback re-anchors, a later feedback ACK covering
@@ -112,6 +133,9 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 			}
 		}
 		f.Alpha = (1-v.Cfg.G)*f.Alpha + v.Cfg.G*frac
+		if audit != nil {
+			ev.AlphaUpdated, ev.AlphaFrac = true, frac
+		}
 		f.windowTotal, f.windowMarked = 0, 0
 		f.alphaSeq = f.SndNxt
 		// Per-RTT distribution samples: the operator's view of where the
@@ -159,6 +183,7 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 	// advertised window untouched until the clean feedback round completes.
 	enforced := f.enforcedWindow(v.minRwnd(f))
 	overwrote := false
+	origWnd := t.Window()
 	if v.Cfg.EnforceRwnd && f.resync == resyncNone {
 		field := enforced >> f.PeerWScale
 		if field == 0 {
@@ -175,6 +200,20 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 			v.Metrics.RwndUnchanged.Inc()
 		}
 	}
+	if audit != nil {
+		ev.SndUna, ev.SndNxt = f.SndUna, f.SndNxt
+		ev.CreditedTotal, ev.CreditedMarked = totalDelta, markedDelta
+		ev.Alpha = f.Alpha
+		ev.CwndBytes = f.CwndBytes
+		ev.MinRwnd = v.minRwnd(f)
+		ev.WScale, ev.WScaleKnown = f.PeerWScale, f.WScaleKnown
+		ev.Resyncing = f.resync != resyncNone
+		ev.Enforce = v.Cfg.EnforceRwnd
+		ev.Enforced = enforced
+		ev.OrigWnd, ev.NewWnd = origWnd, t.Window()
+		ev.Overwrote = overwrote
+		audit.AckEvent(v, ev)
+	}
 	return enforced, overwrote, true
 }
 
@@ -185,10 +224,16 @@ func (v *VSwitch) cutWindow(f *Flow, absAck int64, loss bool) {
 		return // already cut in this window
 	}
 	f.prevCwndBytes = f.CwndBytes
-	f.CwndBytes *= f.vcc.CutFactor(f, loss)
+	factor := f.vcc.CutFactor(f, loss)
+	f.CwndBytes *= factor
 	f.SsthreshBytes = f.CwndBytes
 	f.cutSeq = f.SndNxt
 	v.clampFlow(f)
+	if a := v.Audit; a != nil {
+		a.CutEvent(v, CutEvent{Key: f.Key, Alg: f.vcc.Name(), Loss: loss,
+			Alpha: f.Alpha, Beta: f.Policy.Beta, Factor: factor,
+			PrevCwnd: f.prevCwndBytes, NewCwnd: f.CwndBytes})
+	}
 }
 
 // clampFlow floors the virtual window (β=0 flows are bounded by one MSS to

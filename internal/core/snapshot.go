@@ -434,15 +434,12 @@ func (r *flowRecord) sanitize(cfg *Config) {
 	if r.Alpha > 1 {
 		r.Alpha = 1
 	}
-	if !(r.Beta >= 0) {
-		r.Beta = 1
-	}
-	if r.Beta > 1 {
-		r.Beta = 1
-	}
-	if r.RwndClamp < 0 {
-		r.RwndClamp = 0
-	}
+	// Policy fields go through the same sanitizer as the live FlowPolicy
+	// path (VSwitch.policy), so a restored flow and a fresh one obey one
+	// contract: β ∈ [0,1], non-negative clamp, known vCC name.
+	pol := Policy{Beta: r.Beta, RwndClampBytes: r.RwndClamp,
+		VCC: r.PolVCC, Disable: r.PolDisable}.sanitize()
+	r.Beta, r.RwndClamp, r.PolVCC = pol.Beta, pol.RwndClampBytes, pol.VCC
 	if r.SndUna > r.SndNxt {
 		r.SndUna = r.SndNxt
 	}

@@ -20,6 +20,16 @@ type VirtualCC interface {
 	OnTimeout(f *Flow)
 }
 
+// vccKnown reports whether name resolves to a virtual CC in this build
+// ("" means the vSwitch default and is always known).
+func vccKnown(name string) bool {
+	switch name {
+	case "", "dctcp", "reno":
+		return true
+	}
+	return false
+}
+
 // NewVCC constructs a virtual CC by name ("dctcp" or "reno").
 func NewVCC(name string) VirtualCC {
 	switch name {

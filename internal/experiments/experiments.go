@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"acdc/internal/audit"
 	"acdc/internal/core"
 	"acdc/internal/faults"
 	"acdc/internal/netsim"
@@ -38,6 +39,12 @@ type RunConfig struct {
 	// builds. Only hosts with an AC/DC module are affected, so CUBIC/DCTCP
 	// baseline schemes run unchanged. Nil keeps the restart machinery cold.
 	Restart *faults.RestartPlan
+	// Audit, when non-nil, attaches a datapath invariant auditor
+	// (internal/audit) to every AC/DC module in every topology the experiment
+	// builds. Violations surface through the auditor's counters/log (or a
+	// panic in test mode); report output is unaffected on a clean run. Nil
+	// keeps the hot path on the audit-free branch.
+	Audit *audit.Config
 }
 
 func (c RunConfig) seed() int64 {
@@ -219,7 +226,7 @@ func (s Scheme) options(cfg RunConfig, seed int64) topo.Options {
 		// experiment perturbs the per-topology seed (e.g. per-iteration
 		// seed offsets), so one -faults run replays deterministically.
 		Faults: cfg.Faults, FaultSeed: cfg.seed(),
-		Restart: cfg.Restart,
+		Restart: cfg.Restart, Audit: cfg.Audit,
 	}
 }
 

@@ -8,6 +8,7 @@ package faults_test
 import (
 	"testing"
 
+	"acdc/internal/audit"
 	"acdc/internal/core"
 	"acdc/internal/faults"
 	"acdc/internal/metrics"
@@ -27,7 +28,11 @@ const (
 )
 
 // chaosOptions builds the AC/DC scheme used by every chaos run: CUBIC
-// guests, vSwitch DCTCP, ECN marking on, bounded flow table, timed sweep.
+// guests, vSwitch DCTCP, ECN marking on, bounded flow table, timed sweep —
+// and the invariant auditor in panic mode, so any datapath invariant broken
+// under fault pressure (including across restarts: the restart-chaos suite
+// builds on these options) fails the suite at the violating packet instead
+// of surfacing as a downstream symptom.
 func chaosOptions(prof *faults.Profile, seed int64) topo.Options {
 	ac := core.DefaultConfig()
 	ac.MaxFlows = 64
@@ -38,6 +43,7 @@ func chaosOptions(prof *faults.Profile, seed int64) topo.Options {
 		RED:    netsim.REDConfig{MarkThresholdBytes: topo.DefaultMarkThreshold},
 		Seed:   seed,
 		Faults: prof,
+		Audit:  &audit.Config{Panic: true},
 	}
 }
 

@@ -8,6 +8,7 @@ package topo
 import (
 	"fmt"
 
+	"acdc/internal/audit"
 	"acdc/internal/core"
 	"acdc/internal/faults"
 	"acdc/internal/netsim"
@@ -53,6 +54,10 @@ type Options struct {
 	// corrupt) on the hosts the plan selects. Hosts without an AC/DC module
 	// are unaffected. Nil leaves the restart machinery entirely cold.
 	Restart *faults.RestartPlan
+	// Audit, when non-nil, attaches a datapath invariant auditor
+	// (internal/audit) to every AC/DC module. Nil keeps the hot path on the
+	// audit-free branch (zero overhead, byte-identical telemetry).
+	Audit *audit.Config
 }
 
 // Defaults fills zero fields with the paper's testbed values.
@@ -91,6 +96,7 @@ type Net struct {
 	Hosts    []*netsim.Host
 	Stacks   []*tcpstack.Stack
 	ACDC     []*core.VSwitch  // nil entries when AC/DC is not attached
+	Audits   []*audit.Auditor // parallel to ACDC; nil when Opts.Audit is nil
 	Faults   *faults.Injector // nil when no fault profile is active
 	Opts     Options
 }
@@ -121,6 +127,18 @@ func (n *Net) DropRate() float64 {
 		return 0
 	}
 	return float64(d) / float64(d+s)
+}
+
+// AuditViolations sums recorded invariant violations over every attached
+// auditor. 0 when auditing is off.
+func (n *Net) AuditViolations() int64 {
+	var t int64
+	for _, a := range n.Audits {
+		if a != nil {
+			t += a.Total()
+		}
+	}
+	return t
 }
 
 // newNet allocates the container and simulator.
@@ -177,9 +195,16 @@ func (n *Net) addHost(sw *netsim.Switch, addr packet.Addr, name string) int {
 	}
 	if acdcCfg != nil {
 		cfg := *acdcCfg
-		n.ACDC = append(n.ACDC, core.Attach(n.Sim, h, cfg))
+		v := core.Attach(n.Sim, h, cfg)
+		n.ACDC = append(n.ACDC, v)
+		if o.Audit != nil {
+			n.Audits = append(n.Audits, audit.Attach(v, *o.Audit))
+		} else {
+			n.Audits = append(n.Audits, nil)
+		}
 	} else {
 		n.ACDC = append(n.ACDC, nil)
+		n.Audits = append(n.Audits, nil)
 	}
 	return idx
 }
