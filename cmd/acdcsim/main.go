@@ -51,12 +51,7 @@ func main() {
 	var prof *faults.Profile
 	if *faultSpec != "" {
 		if *faultSpec == "help" || *faultSpec == "list" {
-			fmt.Println("built-in fault profiles:")
-			for _, name := range faults.Names() {
-				p, _ := faults.Lookup(name)
-				fmt.Printf("  %-14s %s\n", name, p.String())
-			}
-			fmt.Println("or a comma-separated k=v list: drop=0.01,reorder=0.02,jitter=50us,...")
+			fmt.Print(faults.ProfilesHelp())
 			return
 		}
 		p, err := faults.Parse(*faultSpec)
@@ -70,14 +65,7 @@ func main() {
 	var restart *faults.RestartPlan
 	if *restartSpec != "" {
 		if *restartSpec == "help" || *restartSpec == "list" {
-			fmt.Println("vSwitch restart variants (-restart mode[@time][,key=val...]):")
-			for _, name := range faults.RestartVariants() {
-				p, _ := faults.LookupRestart(name)
-				fmt.Printf("  %-8s %s\n", name, p.String())
-			}
-			fmt.Println("keys: down=<dur> (outage window), age=<dur> (stale snapshot age),")
-			fmt.Println("      every=<dur> (recur while flows remain), host=<idx> (repeatable)")
-			fmt.Println("example: -restart stale@1ms,age=500us,down=50us,host=0")
+			fmt.Print(faults.RestartHelp())
 			return
 		}
 		p, err := faults.ParseRestart(*restartSpec)

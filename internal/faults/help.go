@@ -1,0 +1,37 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ProfilesHelp renders the built-in fault profiles as the shared `-faults
+// list` output. Every binary with a plan-style -faults flag (acdcsim,
+// acdcreport) prints exactly this text, so discovery looks the same
+// everywhere; cmd/acdcsuite prints it too for the Faults field of scenario
+// specs.
+func ProfilesHelp() string {
+	var b strings.Builder
+	b.WriteString("built-in fault profiles:\n")
+	for _, name := range Names() {
+		p, _ := Lookup(name)
+		fmt.Fprintf(&b, "  %-14s %s\n", name, p.String())
+	}
+	b.WriteString("or a comma-separated k=v list: drop=0.01,reorder=0.02,jitter=50us,...\n")
+	return b.String()
+}
+
+// RestartHelp renders the restart variants as the shared `-restart list`
+// output (same convention as ProfilesHelp).
+func RestartHelp() string {
+	var b strings.Builder
+	b.WriteString("vSwitch restart variants (mode[@time][,key=val...]):\n")
+	for _, name := range RestartVariants() {
+		p, _ := LookupRestart(name)
+		fmt.Fprintf(&b, "  %-8s %s\n", name, p.String())
+	}
+	b.WriteString("keys: down=<dur> (outage window), age=<dur> (stale snapshot age),\n")
+	b.WriteString("      every=<dur> (recur while flows remain), host=<idx> (repeatable)\n")
+	b.WriteString("example: stale@1ms,age=500us,down=50us,host=0\n")
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package scenario_test
+
+import (
+	"fmt"
+
+	"acdc/internal/scenario"
+	"acdc/internal/sim"
+)
+
+// A scenario is plain data: compose a topology, workloads, a fault plan, and
+// the invariants that must hold, then hand it to Run.
+func ExampleRun() {
+	spec := scenario.Spec{
+		Name: "example",
+		Topo: scenario.TopoSpec{Kind: "dumbbell", Hosts: 2},
+		Workloads: []scenario.WorkloadSpec{
+			{Kind: "bulk-pairs"},
+			{Kind: "prober", From: 0, To: 2},
+		},
+		Schemes: []string{"acdc"},
+		Audit:   true,
+		Warmup:  scenario.Duration(2 * sim.Millisecond),
+		Measure: scenario.Duration(8 * sim.Millisecond),
+		Checks: []scenario.Check{
+			{Metric: "audit_violations", Max: ptr(0.0)},
+		},
+	}
+	results, err := scenario.Run([]scenario.Spec{spec}, scenario.SuiteConfig{Seed: 1, Workers: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sr := results[0].Schemes[0]
+	fmt.Printf("scheme=%s checks_failed=%d audit_violations=%v throughput_measured=%v\n",
+		sr.Scheme, len(sr.CheckFailures), sr.Metrics["audit_violations"], sr.Metrics["tput_avg_gbps"] > 0)
+	// Output:
+	// scheme=acdc checks_failed=0 audit_violations=0 throughput_measured=true
+}
+
+// Specs load from small JSON config files; durations are human-readable
+// strings and every spec is validated on load.
+func ExampleParseSpecs() {
+	specs, err := scenario.ParseSpecs([]byte(`{
+		"name": "from-config",
+		"topo": {"kind": "star", "hosts": 6},
+		"workloads": [{"kind": "incast", "senders": 4}],
+		"schemes": ["acdc"],
+		"faults": "loss",
+		"measure": "10ms"
+	}`))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	s := specs[0]
+	fmt.Printf("%s: %s over %d hosts, faults=%s, measure=%s\n",
+		s.Name, s.Workloads[0].Kind, s.Topo.Hosts, s.Faults, s.Measure)
+	// Output:
+	// from-config: incast over 6 hosts, faults=loss, measure=10ms
+}
+
+// Validate catches structural errors before any simulation runs.
+func ExampleSpec_Validate() {
+	bad := scenario.Spec{
+		Name:      "oops",
+		Topo:      scenario.TopoSpec{Kind: "star", Hosts: 4},
+		Workloads: []scenario.WorkloadSpec{{Kind: "incast", Senders: 4}},
+	}
+	fmt.Println(bad.Validate())
+	// Output:
+	// scenario oops: workload 0: incast: 4 senders + receiver exceed 4 hosts
+}
+
+// Tolerance is the per-metric regression band: a measured value passes when
+// |got-base| ≤ max(abs, rel·|base|).
+func ExampleTolerance() {
+	for _, m := range []string{"audit_violations", "tput_avg_gbps", "rtt_p999_ms"} {
+		abs, rel := scenario.Tolerance(m)
+		fmt.Printf("%s: abs=%g rel=%g\n", m, abs, rel)
+	}
+	// Output:
+	// audit_violations: abs=0 rel=0
+	// tput_avg_gbps: abs=0.05 rel=0.1
+	// rtt_p999_ms: abs=0.05 rel=0.6
+}
+
+func ptr(v float64) *float64 { return &v }

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"acdc/internal/sim"
+)
+
+// TenantChurnConfig parameterizes the multi-tenant-churn workload: several
+// tenants each own a disjoint group of hosts and run their own background +
+// mice traffic inside the group, while tenants keep arriving and departing.
+// Each departure idles a tenant's connections (flows go quiet and age out of
+// the vSwitch flow tables); each arrival dials a *fresh* set of connections
+// (new flows churn the tables). The workload therefore exercises exactly the
+// state-lifecycle paths a shared production vSwitch lives on — flow setup,
+// idle GC, midstream adoption after restarts — under continuously shifting
+// load, instead of the fixed flow population the paper's figures use.
+type TenantChurnConfig struct {
+	// Tenants is the tenant count (default 3).
+	Tenants int
+	// HostsPerTenant is each tenant's group size (default 4, minimum 2).
+	// Tenant t owns hosts [t*HostsPerTenant, (t+1)*HostsPerTenant).
+	HostsPerTenant int
+	// BgBytes is the background message size sent host→next-host around each
+	// tenant's ring, back to back (default 2MB).
+	BgBytes int64
+	// MiceBytes is the mice message size (default 16KB).
+	MiceBytes int64
+	// MicePeriod spaces each host's mice messages (default 2ms).
+	MicePeriod sim.Duration
+	// ChurnPeriod is the time between churn events (default 10ms; negative
+	// disables churn, leaving all tenants active — a plain multi-tenant
+	// mix). Events round-robin the tenants: an active tenant departs, a
+	// departed one re-arrives with fresh connections.
+	ChurnPeriod sim.Duration
+}
+
+// withDefaults fills unset fields.
+func (c TenantChurnConfig) withDefaults() TenantChurnConfig {
+	if c.Tenants == 0 {
+		c.Tenants = 3
+	}
+	if c.HostsPerTenant == 0 {
+		c.HostsPerTenant = 4
+	}
+	if c.HostsPerTenant < 2 {
+		c.HostsPerTenant = 2
+	}
+	if c.BgBytes == 0 {
+		c.BgBytes = 2 << 20
+	}
+	if c.MiceBytes == 0 {
+		c.MiceBytes = 16 << 10
+	}
+	if c.MicePeriod == 0 {
+		c.MicePeriod = 2 * sim.Millisecond
+	}
+	if c.ChurnPeriod == 0 {
+		c.ChurnPeriod = 10 * sim.Millisecond
+	}
+	return c
+}
+
+// Hosts returns the host count the configured workload needs
+// (Tenants × HostsPerTenant); build the topology at least this large.
+func (c TenantChurnConfig) Hosts() int {
+	c = c.withDefaults()
+	return c.Tenants * c.HostsPerTenant
+}
+
+// tenant is one tenant's live state: its generation counter invalidates the
+// send loops of a departed epoch, so a departure needs no per-connection
+// bookkeeping — stale loops see a newer generation and stop.
+type tenant struct {
+	active bool
+	gen    int
+}
+
+// TenantChurn drives the multi-tenant-churn workload. FCTs collects mice and
+// background completion times across all tenants; Departures and Arrivals
+// count churn events.
+type TenantChurn struct {
+	// FCTs collects mice/background completion times over every tenant.
+	FCTs FCTs
+	// Departures and Arrivals count churn events applied so far.
+	Departures, Arrivals int
+
+	m       *Manager
+	cfg     TenantChurnConfig
+	tenants []tenant
+	next    int // round-robin churn cursor
+	stopped bool
+}
+
+// NewTenantChurn builds the (not yet started) workload over hosts
+// [0, cfg.Hosts()) of m's Net.
+func NewTenantChurn(m *Manager, cfg TenantChurnConfig) *TenantChurn {
+	cfg = cfg.withDefaults()
+	if n := len(m.Net.Hosts); n < cfg.Hosts() {
+		panic("workload: tenant-churn needs more hosts than the topology has")
+	}
+	return &TenantChurn{m: m, cfg: cfg, tenants: make([]tenant, cfg.Tenants)}
+}
+
+// Start activates every tenant and begins the churn schedule.
+func (tc *TenantChurn) Start() {
+	for t := range tc.tenants {
+		tc.activate(t)
+	}
+	if tc.cfg.ChurnPeriod > 0 {
+		tc.m.Net.Sim.Schedule(tc.cfg.ChurnPeriod, tc.churn)
+	}
+}
+
+// Stop freezes the workload: no further churn events, and every tenant's
+// send loops end at the next message boundary.
+func (tc *TenantChurn) Stop() {
+	tc.stopped = true
+	for t := range tc.tenants {
+		tc.tenants[t].active = false
+		tc.tenants[t].gen++
+	}
+}
+
+// churn applies one round-robin churn event and re-arms.
+func (tc *TenantChurn) churn() {
+	if tc.stopped {
+		return
+	}
+	t := tc.next
+	tc.next = (tc.next + 1) % len(tc.tenants)
+	if tc.tenants[t].active {
+		// Departure: bump the generation so the tenant's loops go quiet at
+		// their next message boundary and its flows idle out of the tables.
+		tc.tenants[t].active = false
+		tc.tenants[t].gen++
+		tc.Departures++
+	} else {
+		tc.activate(t)
+		tc.Arrivals++
+	}
+	tc.m.Net.Sim.Schedule(tc.cfg.ChurnPeriod, tc.churn)
+}
+
+// activate (re)starts tenant t with fresh connections.
+func (tc *TenantChurn) activate(t int) {
+	tc.tenants[t].active = true
+	gen := tc.tenants[t].gen
+	h := tc.cfg.HostsPerTenant
+	base := t * h
+	rng := tc.m.Net.Sim.Rand()
+	for i := 0; i < h; i++ {
+		src := base + i
+		// Background ring: src → next host in the group, messages back to back.
+		bg := tc.m.Open(src, base+(i+1)%h)
+		var nextBg func()
+		nextBg = func() {
+			if tc.tenants[t].gen != gen {
+				return
+			}
+			bg.SendMessage(tc.cfg.BgBytes, func(fct sim.Duration) {
+				tc.FCTs.Background.Add(float64(fct))
+				nextBg()
+			})
+		}
+		nextBg()
+
+		// Mice: periodic small messages to the host after the ring neighbour
+		// (the neighbour itself when the group only has two hosts).
+		mice := tc.m.Open(src, base+(i+min(2, h-1))%h)
+		var tick func()
+		tick = func() {
+			if tc.tenants[t].gen != gen {
+				return
+			}
+			mice.SendMessage(tc.cfg.MiceBytes, func(fct sim.Duration) {
+				tc.FCTs.Mice.Add(float64(fct))
+			})
+			tc.m.Net.Sim.Schedule(tc.cfg.MicePeriod, tick)
+		}
+		tc.m.Net.Sim.Schedule(sim.Duration(rng.Int63n(int64(tc.cfg.MicePeriod))), tick)
+	}
+}

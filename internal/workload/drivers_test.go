@@ -1,0 +1,268 @@
+package workload
+
+// Dedicated tests for the messenger/prober primitives' traffic shapes and
+// for the flash-crowd and tenant-churn drivers, including determinism under
+// a fixed seed — the property the scenario suite's baselines rest on.
+
+import (
+	"fmt"
+	"testing"
+
+	"acdc/internal/sim"
+	"acdc/internal/tcpstack"
+	"acdc/internal/topo"
+)
+
+func seededStar(n int, seed int64) *topo.Net {
+	return topo.Star(n, topo.Options{Guest: tcpstack.DefaultConfig(), Seed: seed})
+}
+
+func TestMessengerShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		sizes []int64
+		// wantDelivered is the receiver-side in-order byte count after the
+		// run; every tracked message must have completed.
+		wantDelivered int64
+	}{
+		{"single-small", []int64{1000}, 1000},
+		{"single-large", []int64{1 << 20}, 1 << 20},
+		{"back-to-back-mixed", []int64{64 << 10, 100, 256 << 10, 1}, (64 << 10) + 100 + (256 << 10) + 1},
+		{"many-mice", []int64{100, 100, 100, 100, 100, 100, 100, 100}, 800},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := seededStar(2, 1)
+			m := NewManager(net)
+			ms := m.Open(0, 1)
+			var fcts []sim.Duration
+			var sizes []int64
+			ms.OnMessage = func(size int64) { sizes = append(sizes, size) }
+			for _, sz := range tc.sizes {
+				ms.SendMessage(sz, func(fct sim.Duration) { fcts = append(fcts, fct) })
+			}
+			net.Sim.RunFor(200 * sim.Millisecond)
+			if len(fcts) != len(tc.sizes) {
+				t.Fatalf("completed %d of %d messages", len(fcts), len(tc.sizes))
+			}
+			if got := ms.Delivered(); got != tc.wantDelivered {
+				t.Fatalf("delivered %d, want %d", got, tc.wantDelivered)
+			}
+			for i, sz := range tc.sizes {
+				if sizes[i] != sz {
+					t.Fatalf("OnMessage order %v, want %v", sizes, tc.sizes)
+				}
+			}
+			// FCTs on one connection are cumulative: each message waits for
+			// its predecessors, so completion times must be non-decreasing.
+			for i := 1; i < len(fcts); i++ {
+				if fcts[i] < fcts[i-1]-sim.Duration(0) && fcts[i] <= 0 {
+					t.Fatalf("FCT %d (%v) negative", i, fcts[i])
+				}
+			}
+		})
+	}
+}
+
+func TestMessengerBulkUntracked(t *testing.T) {
+	net := seededStar(2, 1)
+	m := NewManager(net)
+	ms := m.Open(0, 1)
+	fired := false
+	ms.OnMessage = func(int64) { fired = true }
+	ms.SendBulk(1 << 20)
+	net.Sim.RunFor(50 * sim.Millisecond)
+	if ms.Delivered() != 1<<20 {
+		t.Fatalf("delivered %d, want %d", ms.Delivered(), 1<<20)
+	}
+	if fired {
+		t.Fatal("bulk bytes must not fire message callbacks")
+	}
+}
+
+func TestProberShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		spacing sim.Duration
+		bytes   int64
+		// maxSamples bounds the sample count for spaced probing (one probe
+		// per spacing interval at most).
+		maxSamples int
+	}{
+		{"back-to-back", 0, 0, 0},
+		{"spaced-1ms", sim.Millisecond, 0, 25},
+		{"big-probe", 0, 8 << 10, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := seededStar(2, 1)
+			m := NewManager(net)
+			p := NewProber(m, 0, 1)
+			p.Spacing = tc.spacing
+			if tc.bytes != 0 {
+				p.MsgBytes = tc.bytes
+			}
+			p.Start()
+			net.Sim.RunFor(20 * sim.Millisecond)
+			p.Stop()
+			if p.Samples.N() < 5 {
+				t.Fatalf("only %d samples", p.Samples.N())
+			}
+			if tc.maxSamples > 0 && p.Samples.N() > tc.maxSamples {
+				t.Fatalf("%d samples exceed the spacing bound %d", p.Samples.N(), tc.maxSamples)
+			}
+			// One exchange in flight on an idle fabric: every sample is a
+			// plausible base RTT, well under a millisecond.
+			if min, max := p.Samples.Min(), p.Samples.Max(); min <= 0 || max > 2e6 {
+				t.Fatalf("sample range [%.0f, %.0f]ns implausible on idle fabric", min, max)
+			}
+		})
+	}
+}
+
+func TestFlashCrowdShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		senders int
+		bytes   int64
+		period  sim.Duration
+		runFor  sim.Duration
+		// minWaves/minFCTs are loose lower bounds; exact counts are pinned
+		// by the determinism test below.
+		minWaves int
+	}{
+		{"small-crowd", 4, 16 << 10, 2 * sim.Millisecond, 20 * sim.Millisecond, 8},
+		{"wide-crowd", 12, 64 << 10, 5 * sim.Millisecond, 30 * sim.Millisecond, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := seededStar(tc.senders+1, 1)
+			m := NewManager(net)
+			senders := make([]int, tc.senders)
+			for i := range senders {
+				senders[i] = i
+			}
+			f := NewFlashCrowd(m, FlashCrowdConfig{
+				Senders: senders, Hot: tc.senders, Bytes: tc.bytes, Period: tc.period,
+			})
+			f.Start()
+			net.Sim.RunFor(tc.runFor)
+			f.Stop()
+			net.Sim.RunFor(tc.runFor) // drain the in-flight wave
+			if f.Waves < tc.minWaves {
+				t.Fatalf("only %d waves, want ≥ %d", f.Waves, tc.minWaves)
+			}
+			// Every issued request eventually completes: waves × senders.
+			if want := f.Waves * tc.senders; f.FCT.N() != want {
+				t.Fatalf("%d FCTs, want %d (%d waves × %d senders)", f.FCT.N(), want, f.Waves, tc.senders)
+			}
+			if f.FCT.Min() <= 0 {
+				t.Fatalf("non-positive FCT: %v", f.FCT.Min())
+			}
+		})
+	}
+}
+
+func TestFlashCrowdCongestsHotHost(t *testing.T) {
+	// The wave tail must exceed a lone request's FCT — otherwise the driver
+	// isn't actually producing transient incast on the hot downlink.
+	net := seededStar(17, 1)
+	m := NewManager(net)
+	lone := NewFlashCrowd(m, FlashCrowdConfig{Senders: []int{0}, Hot: 16, Bytes: 64 << 10, Period: 2 * sim.Millisecond})
+	lone.Start()
+	net.Sim.RunFor(10 * sim.Millisecond)
+	lone.Stop()
+	net.Sim.RunFor(10 * sim.Millisecond)
+
+	net2 := seededStar(17, 1)
+	m2 := NewManager(net2)
+	senders := make([]int, 16)
+	for i := range senders {
+		senders[i] = i
+	}
+	crowd := NewFlashCrowd(m2, FlashCrowdConfig{Senders: senders, Hot: 16, Bytes: 64 << 10, Period: 2 * sim.Millisecond})
+	crowd.Start()
+	net2.Sim.RunFor(10 * sim.Millisecond)
+	crowd.Stop()
+	net2.Sim.RunFor(10 * sim.Millisecond)
+
+	if crowd.FCT.Percentile(99) < 2*lone.FCT.Percentile(99) {
+		t.Fatalf("crowd p99 %.0fns not ≫ lone p99 %.0fns — no transient incast",
+			crowd.FCT.Percentile(99), lone.FCT.Percentile(99))
+	}
+}
+
+func TestTenantChurnShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  TenantChurnConfig
+	}{
+		{"default-3x4", TenantChurnConfig{BgBytes: 1 << 20}},
+		{"two-tenants-min-group", TenantChurnConfig{Tenants: 2, HostsPerTenant: 2, BgBytes: 512 << 10}},
+		{"no-churn", TenantChurnConfig{Tenants: 2, HostsPerTenant: 3, BgBytes: 1 << 20, ChurnPeriod: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			noChurn := cfg.ChurnPeriod < 0
+			net := seededStar(cfg.Hosts(), 1)
+			m := NewManager(net)
+			w := NewTenantChurn(m, cfg)
+			w.Start()
+			net.Sim.RunFor(60 * sim.Millisecond)
+			w.Stop()
+			if w.FCTs.Mice.N() == 0 || w.FCTs.Background.N() == 0 {
+				t.Fatalf("degenerate FCTs: mice=%d bg=%d", w.FCTs.Mice.N(), w.FCTs.Background.N())
+			}
+			if noChurn {
+				if w.Departures != 0 || w.Arrivals != 0 {
+					t.Fatalf("churn disabled but saw %d departures / %d arrivals", w.Departures, w.Arrivals)
+				}
+			} else if w.Departures == 0 {
+				t.Fatal("no departures in 60ms with 10ms churn period")
+			}
+		})
+	}
+}
+
+func TestTenantChurnTooFewHostsPanics(t *testing.T) {
+	net := seededStar(3, 1)
+	m := NewManager(net)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTenantChurn(m, TenantChurnConfig{Tenants: 2, HostsPerTenant: 4})
+}
+
+// driverFingerprint runs every driver on one fabric and folds the observable
+// outputs into a comparable string.
+func driverFingerprint(seed int64) string {
+	cfg := TenantChurnConfig{Tenants: 2, HostsPerTenant: 3, BgBytes: 1 << 20}
+	net := seededStar(12, seed)
+	m := NewManager(net)
+	w := NewTenantChurn(m, cfg)
+	w.Start()
+	f := NewFlashCrowd(m, FlashCrowdConfig{Senders: []int{6, 7, 8}, Hot: 9, Bytes: 32 << 10, Period: 3 * sim.Millisecond})
+	f.Start()
+	p := NewProber(m, 10, 11)
+	p.Start()
+	net.Sim.RunFor(40 * sim.Millisecond)
+	return fmt.Sprintf("mice=%d/%.0f bg=%d/%.0f waves=%d fct=%d/%.0f probes=%d/%.0f churn=%d+%d",
+		w.FCTs.Mice.N(), w.FCTs.Mice.Percentile(50),
+		w.FCTs.Background.N(), w.FCTs.Background.Percentile(50),
+		f.Waves, f.FCT.N(), f.FCT.Percentile(99),
+		p.Samples.N(), p.Samples.Percentile(50),
+		w.Departures, w.Arrivals)
+}
+
+func TestDriversDeterministicUnderFixedSeed(t *testing.T) {
+	a, b := driverFingerprint(7), driverFingerprint(7)
+	if a != b {
+		t.Fatalf("same seed diverged:\n  %s\n  %s", a, b)
+	}
+	if c := driverFingerprint(8); c == a {
+		t.Fatalf("different seeds produced identical fingerprints: %s", a)
+	}
+}

@@ -1,9 +1,3 @@
-// Package workload drives traffic through a topo.Net the way the paper's
-// benchmark tools do: message-based applications over persistent TCP
-// connections with receiver-side flow-completion-time measurement (iperf /
-// simple TCP apps), an application-level RTT prober (sockperf ping-pong),
-// and the §5.2 macro-workloads (incast, concurrent stride, shuffle,
-// trace-driven).
 package workload
 
 import (
@@ -72,10 +66,19 @@ type message struct {
 	done    func(fct sim.Duration)
 }
 
-// Messenger is a one-direction message stream over a TCP connection: the
-// client writes messages back to back; completion is observed at the
-// receiver when the in-order delivered byte count crosses each message
-// boundary (the paper's "simple TCP application ... to measure FCTs").
+// Messenger is a one-direction message stream over a persistent TCP
+// connection: the client writes messages back to back and completion is
+// observed at the *receiver*, when the in-order delivered byte count crosses
+// each message boundary (the paper's "simple TCP application ... to measure
+// FCTs"). Measuring at the receiver makes an FCT include every delay the
+// paper cares about — queueing on both the data and ACK path, loss recovery,
+// and RTO stalls — not just the sender's last write.
+//
+// Messages on one Messenger complete strictly in send order (TCP delivers in
+// order), so a queued message's FCT includes the time spent waiting behind
+// its predecessors; drivers that need independent timings (e.g. Prober) use
+// a dedicated connection. The zero message count is fine: a Messenger used
+// only via SendBulk tracks Delivered() without per-message accounting.
 type Messenger struct {
 	Sim      *sim.Simulator
 	Cli      *tcpstack.Conn

@@ -7,9 +7,17 @@ import (
 
 // Prober measures application-level TCP round-trip time the way sockperf's
 // ping-pong mode does: a small request, a small immediate response on the
-// same connection, next request after the response arrives. Its samples
-// include queueing delay on both directions of the bottleneck, which is what
-// the paper's RTT CDFs (Figures 2, 8, 16, 19, 20) show.
+// same connection, next request only after the response arrives. Exactly one
+// exchange is ever in flight, so each sample is an isolated round trip whose
+// value is dominated by the queues the probe crosses — which is what the
+// paper's RTT CDFs (Figures 2, 8, 16, 19, 20) show.
+//
+// The connection should be dialed *before* the fabric is congested (the
+// paper's sockperf connections are long-lived): NewProber performs the dial,
+// Start sends the first probe. Samples are in nanoseconds; divide by 1e6 for
+// the milliseconds the figures use. Spacing throttles the probe rate; the
+// default back-to-back mode yields the most samples but never more than one
+// outstanding exchange, so the probe itself does not congest the path.
 type Prober struct {
 	ms      *Messenger
 	Samples *stats.Sample
