@@ -36,6 +36,7 @@ import (
 
 	"acdc/internal/faults"
 	"acdc/internal/scenario"
+	"acdc/internal/soak"
 )
 
 func main() {
@@ -50,7 +51,14 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress and per-scenario metric lines (failures still print)")
 	faultSpec := flag.String("faults", "", "`list` shows the fault-profile syntax scenario specs use in their Faults field")
 	restartSpec := flag.String("restart", "", "`list` shows the restart-plan syntax scenario specs use in their Restart field")
+	soakMode := flag.Bool("soak", false, "run the service-mode soak (leak/drift gates) instead of the scenario catalog")
+	soakDuration := flag.Duration("soak-duration", 60*time.Second, "wall-clock soak length (with -soak)")
 	flag.Parse()
+
+	if *soakMode {
+		runSoak(*soakDuration, *seed, *quiet)
+		return
+	}
 
 	// Shared plan-style flag convention: `list` enumerates. Scenario fault and
 	// restart plans live inside the spec, so here the flags are help-only.
@@ -77,11 +85,14 @@ func main() {
 			}
 		}
 	}
-	for _, n := range names {
-		if n == "list" || n == "help" {
-			fmt.Print(scenario.CatalogHelp())
-			return
-		}
+	// `list`/`help` is a catalog query only when it is the entire selection.
+	// Mixed with real names it used to short-circuit here, so a typo like
+	// `-scenario baselin,list` printed the catalog and exited 0 instead of
+	// failing; now the unknown name reaches CatalogByName and errors with a
+	// near-miss suggestion.
+	if len(names) == 1 && (names[0] == "list" || names[0] == "help") {
+		fmt.Print(scenario.CatalogHelp())
+		return
 	}
 
 	var specs []scenario.Spec
@@ -162,6 +173,24 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// runSoak executes the service-mode soak (internal/soak): churn + flash-crowd
+// workloads under a hostile control plane, gated on leaks, drift, goroutine
+// growth, and audit violations. Exit 1 when any gate trips.
+func runSoak(duration time.Duration, seed int64, quiet bool) {
+	cfg := soak.Config{Duration: duration, Seed: seed}
+	if !quiet {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+	fmt.Printf("acdcsuite: soak %v, seed %d\n", duration, seed)
+	r := soak.Run(cfg)
+	fmt.Print(r.String())
+	if r.Failed() {
+		os.Exit(1)
+	}
 }
 
 // summarize renders the headline metrics on one stable-order line.

@@ -82,6 +82,14 @@ type Config struct {
 	// MaxLog bounds the number of violations logged (counters keep counting
 	// past it). 0 means the default of 32.
 	MaxLog int
+	// Sample, when > 1, checks only every Sample-th packet and ACK event —
+	// the long-lived service mode runs the auditor continuously, and 1-in-N
+	// sampling keeps its cost a budget line instead of a tax on every
+	// packet. State-transition events (window cuts, policing drops) are
+	// ALWAYS checked: they are rare, and they carry the invariants a
+	// sampled packet stream could miss entirely (a hostile β shows up in
+	// every cut, not in every packet). 0 or 1 means check everything.
+	Sample int
 }
 
 // Auditor implements core.Auditor: it checks every event against the rule
@@ -96,6 +104,7 @@ type Auditor struct {
 	lazy  map[Rule]*metrics.LazyCounter
 	local map[Rule]*atomic.Int64
 	total atomic.Int64
+	seq   atomic.Uint64 // sampling sequence for PacketEvent/AckEvent
 
 	mu     sync.Mutex
 	logged int
@@ -151,6 +160,15 @@ func (a *Auditor) violate(rule Rule, format string, args ...any) {
 	a.mu.Unlock()
 }
 
+// sampled reports whether this packet/ACK event falls in the 1-in-Sample
+// check budget. Atomic so concurrent datapaths share one sequence.
+func (a *Auditor) sampled() bool {
+	if a.cfg.Sample <= 1 {
+		return true
+	}
+	return a.seq.Add(1)%uint64(a.cfg.Sample) == 0
+}
+
 // Total returns the number of violations recorded across all rules.
 func (a *Auditor) Total() int64 { return a.total.Load() }
 
@@ -179,6 +197,9 @@ func (a *Auditor) Violations() []string {
 func (a *Auditor) PacketEvent(v *core.VSwitch, dir core.AuditDir, pre core.PacketPre,
 	out, extra *packet.Packet, outIsInput bool) {
 	if !pre.Auditable {
+		return
+	}
+	if !a.sampled() {
 		return
 	}
 	if v.Metrics.FailOpen.Value() != pre.FailOpenBefore {
@@ -236,6 +257,9 @@ func (a *Auditor) checkECT(p *packet.Packet, pre core.PacketPre) {
 
 // AckEvent checks the sender-module invariants after one ACK pass.
 func (a *Auditor) AckEvent(v *core.VSwitch, e core.AckEvent) {
+	if !a.sampled() {
+		return
+	}
 	// §3.1 connection tracking: absolute sequence state never regresses and
 	// never inverts.
 	if e.SndUna < e.PrevSndUna || e.SndNxt < e.PrevSndNxt || e.SndUna > e.SndNxt {

@@ -243,3 +243,43 @@ func TestNilRegistry(t *testing.T) {
 		t.Fatalf("count = %d, want 1", a.Count(RuleCutFactor))
 	}
 }
+
+// TestSamplingChecksSubsetOfPacketEvents pins the 1-in-N budget: with
+// Sample=4, only a quarter of violating ACK events are counted.
+func TestSamplingChecksSubsetOfPacketEvents(t *testing.T) {
+	v, a := auditVSwitch(t, Config{Sample: 4, MaxLog: 1})
+	const n = 400
+	for i := 0; i < n; i++ {
+		e := goodAck()
+		e.Alpha = 1.5 // violates RuleAlphaRange every time
+		a.AckEvent(v, e)
+	}
+	got := a.Count(RuleAlphaRange)
+	if got != n/4 {
+		t.Fatalf("Sample=4 counted %d of %d violating events, want %d", got, n, n/4)
+	}
+}
+
+// TestSamplingAlwaysChecksStateTransitions pins the safety property sampling
+// must not cost: cut and policing events carry the hostile-β class of defect
+// and are checked regardless of Sample.
+func TestSamplingAlwaysChecksStateTransitions(t *testing.T) {
+	v, a := auditVSwitch(t, Config{Sample: 1 << 20, MaxLog: 1})
+	const n = 50
+	for i := 0; i < n; i++ {
+		a.CutEvent(v, core.CutEvent{
+			Key: key(), Alg: "dctcp", Alpha: 0.5, Beta: 3,
+			Factor: 1.25, PrevCwnd: 20000, NewCwnd: 25000,
+		})
+		a.PoliceEvent(v, core.PoliceEvent{
+			Key: key(), SegEnd: 15000, SndUna: 0,
+			Enforced: 20000, Slack: 2000, Dropped: true,
+		})
+	}
+	if got := a.Count(RuleCutFactor); got != n {
+		t.Fatalf("cut events sampled away: %d of %d counted", got, n)
+	}
+	if got := a.Count(RulePoliceWindow); got != n {
+		t.Fatalf("policing events sampled away: %d of %d counted", got, n)
+	}
+}

@@ -122,7 +122,7 @@ type AckEvent struct {
 
 	// Enforcement decision.
 	Resyncing       bool   // conservative mode at enforcement time
-	Enforce         bool   // Cfg.EnforceRwnd
+	Enforce         bool   // Cfg.EnforceRwnd and the flow is not Policy.Disable
 	Enforced        int64  // enforcedWindow(minRwnd) result in bytes
 	OrigWnd, NewWnd uint16 // RWND field before/after
 	Overwrote       bool

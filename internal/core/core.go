@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"acdc/internal/metrics"
 	"acdc/internal/netsim"
 	"acdc/internal/packet"
@@ -126,6 +128,25 @@ type VSwitch struct {
 	lastSweep  sim.Time
 	sweepTick  int
 	sweepTimer *sim.Timer // armed only when Cfg.SweepInterval > 0
+
+	// attached gates the datapath hooks. Attach installs stable wrapper
+	// funcs on the host exactly once and never swaps them again; Detach and
+	// Reattach flip this flag instead, so a control-plane goroutine can
+	// detach the module while packets are mid-hook without racing the
+	// per-packet hook reads.
+	attached atomic.Bool
+
+	// overrides is the live per-flow policy table installed through
+	// InstallPolicy (the daemon's policy stream). It is copy-on-write: the
+	// datapath reads the current map with one atomic load at flow setup,
+	// and installs swap in a fresh map, so a policy push never blocks or
+	// races an in-flight Egress/Ingress batch.
+	overrides atomic.Pointer[map[FlowKey]Policy]
+
+	// sweepArm requests a sweep-timer arm from a goroutine that must not
+	// touch the simulator (snapshot restore under live traffic). The
+	// datapath consumes it in maybeSweep, on the simulation goroutine.
+	sweepArm atomic.Bool
 }
 
 // Attach creates an AC/DC module on host and installs its datapath hooks.
@@ -160,9 +181,28 @@ func Attach(s *sim.Simulator, host *netsim.Host, cfg Config) *VSwitch {
 	if cfg.SweepInterval > 0 {
 		v.sweepTimer = sim.NewTimer(s, v.onSweepTick)
 	}
-	host.Egress = v.EgressPath
-	host.Ingress = v.IngressPath
+	v.attached.Store(true)
+	host.Egress = v.egressHook
+	host.Ingress = v.ingressHook
 	return v
+}
+
+// egressHook and ingressHook are the stable functions installed on the host.
+// They stay installed for the vSwitch's lifetime; Detach/Reattach flip the
+// attached flag, which costs the per-packet path one atomic load and makes
+// live detach safe against concurrent traffic (a nil-ing field swap is not).
+func (v *VSwitch) egressHook(p *packet.Packet) (out, extra *packet.Packet) {
+	if !v.attached.Load() {
+		return p, nil // detached: standard vSwitch passthrough
+	}
+	return v.EgressPath(p)
+}
+
+func (v *VSwitch) ingressHook(p *packet.Packet) (out, extra *packet.Packet) {
+	if !v.attached.Load() {
+		return p, nil
+	}
+	return v.IngressPath(p)
 }
 
 // pool returns the packet pool shared with the host (nil-safe: pool-less
@@ -174,20 +214,31 @@ func (v *VSwitch) pool() *packet.Pool {
 	return v.Host.Pool
 }
 
-// Detach removes the datapath hooks (reverting to a standard vSwitch).
+// Detach disables the datapath hooks (reverting to a standard vSwitch).
+// Safe to call from any goroutine, even with packets in flight: the hooks
+// themselves stay installed and gate on an atomic flag.
 func (v *VSwitch) Detach() {
-	v.Host.Egress = nil
-	v.Host.Ingress = nil
+	v.attached.Store(false)
 }
 
-// policy resolves the per-flow policy. FlowPolicy callbacks must return a
-// fully specified Policy (start from DefaultPolicy and override); β=0 is a
-// legal value meaning maximum back-off. The result is sanitized before it
-// reaches the enforcement math: an operator callback returning β>1 would
-// otherwise make Equation (1)'s cut factor exceed 1 — the window would GROW
-// on congestion — and a negative clamp would silently disable capping.
-// Snapshot restore sanitizes through the same func (flowRecord.sanitize).
+// Attached reports whether the datapath hooks are live.
+func (v *VSwitch) Attached() bool { return v.attached.Load() }
+
+// policy resolves the per-flow policy: a live InstallPolicy override wins,
+// then the FlowPolicy callback, then DefaultPolicy. FlowPolicy callbacks
+// must return a fully specified Policy (start from DefaultPolicy and
+// override); β=0 is a legal value meaning maximum back-off. Every result is
+// routed through the Sanitized choke point before it reaches the
+// enforcement math: an operator callback returning β>1 would otherwise make
+// Equation (1)'s cut factor exceed 1 — the window would GROW on congestion —
+// and a negative clamp would silently disable capping. Snapshot restore
+// sanitizes through the same choke point (flowRecord.sanitize).
 func (v *VSwitch) policy(k FlowKey) Policy {
+	if m := v.overrides.Load(); m != nil {
+		if p, ok := (*m)[k]; ok {
+			return p // already sanitized by InstallPolicy
+		}
+	}
 	if v.Cfg.FlowPolicy == nil {
 		return DefaultPolicy()
 	}
@@ -216,6 +267,27 @@ func (v *VSwitch) flowFor(k FlowKey) *Flow {
 	return f
 }
 
+// flowForRestore is the restore-path counterpart of flowFor, callable from a
+// control-plane goroutine while traffic flows. It never runs pressure
+// eviction (evictForPressure stops per-flow timers, a simulation-goroutine
+// operation) — at capacity the overflow records simply fail open, the same
+// outcome a full table gives new traffic — and it creates flows through
+// newFlowRestored, which defers sweep-timer arming to the datapath.
+func (v *VSwitch) flowForRestore(k FlowKey) *Flow {
+	if v.Cfg.MaxFlows > 0 {
+		if f := v.Table.Get(k); f != nil {
+			return f
+		}
+		if v.Table.Len() >= v.Cfg.MaxFlows {
+			v.Metrics.FlowTableFull.Inc()
+			v.Metrics.FailOpen.Inc()
+			return nil
+		}
+	}
+	f, _ := v.Table.GetOrCreate(k, func() *Flow { return v.newFlowRestored(k) })
+	return f
+}
+
 // evictForPressure frees table space at capacity: closed flows go
 // immediately, idle ones after GCInterval (a much tighter deadline than the
 // ordinary IdleTimeout — under pressure, idleness is eviction).
@@ -241,7 +313,31 @@ func (v *VSwitch) evictForPressure() {
 	}
 }
 
+// newFlow creates a tracked flow from the datapath (simulation goroutine):
+// it may arm the sweep timer directly.
 func (v *VSwitch) newFlow(k FlowKey) *Flow {
+	f := v.buildFlow(k)
+	if v.sweepTimer != nil {
+		v.sweepTimer.ArmIfIdle(v.Cfg.SweepInterval)
+	}
+	return f
+}
+
+// newFlowRestored creates a tracked flow from RestoreSnapshot, which may run
+// on a control-plane goroutine while traffic flows: timer arming is deferred
+// to the datapath via the sweepArm flag instead of touching the simulator.
+func (v *VSwitch) newFlowRestored(k FlowKey) *Flow {
+	f := v.buildFlow(k)
+	if v.sweepTimer != nil {
+		v.sweepArm.Store(true)
+	}
+	return f
+}
+
+// buildFlow is the shared flow construction: policy resolution, virtual-CC
+// setup, initial window. Everything it touches is goroutine-safe (atomic
+// policy overrides, striped counters, the metrics histogram mutex).
+func (v *VSwitch) buildFlow(k FlowKey) *Flow {
 	v.Metrics.FlowsCreated.Inc()
 	v.Metrics.FlowTableSize.Add(1)
 	pol := v.policy(k)
@@ -257,9 +353,6 @@ func (v *VSwitch) newFlow(k FlowKey) *Flow {
 	f.SsthreshBytes = 1 << 40
 	f.vcc.Init(f)
 	f.lastActive = v.Sim.Now()
-	if v.sweepTimer != nil {
-		v.sweepTimer.ArmIfIdle(v.Cfg.SweepInterval)
-	}
 	return f
 }
 
@@ -279,8 +372,12 @@ func (v *VSwitch) minRwnd(f *Flow) int64 {
 }
 
 // maybeSweep runs the coarse-grained GC from the datapath (no timers, so
-// drained simulations terminate).
+// drained simulations terminate). It also consumes deferred sweep-timer arm
+// requests left by goroutines that cannot touch the simulator themselves.
 func (v *VSwitch) maybeSweep() {
+	if v.sweepTimer != nil && v.sweepArm.Load() && v.sweepArm.CompareAndSwap(true, false) {
+		v.sweepTimer.ArmIfIdle(v.Cfg.SweepInterval)
+	}
 	v.sweepTick++
 	if v.sweepTick&0xfff != 0 {
 		return

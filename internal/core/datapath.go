@@ -175,7 +175,9 @@ func (v *VSwitch) senderEgress(f *Flow, p *packet.Packet, t packet.TCP, syn bool
 
 		// Policing trusts the tracked window; a resyncing flow's window is
 		// exactly what cannot be trusted yet, so policing waits with it.
-		if v.Cfg.Police && plen > 0 && f.resync == resyncNone {
+		// A Policy.Disable flow is exempt from enforcement, so dropping its
+		// beyond-window segments would be exactly the harm it opted out of.
+		if v.Cfg.Police && plen > 0 && f.resync == resyncNone && !f.Policy.Disable {
 			allowance := f.CwndBytes
 			if f.prevCwndBytes > allowance {
 				allowance = f.prevCwndBytes

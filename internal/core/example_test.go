@@ -90,16 +90,17 @@ func ExampleVSwitch_Stats() {
 }
 
 // ExampleVSwitch_Detach shows turning the module off at runtime — the host
-// reverts to a plain vSwitch with no hooks installed.
+// behaves like a plain vSwitch (the hooks stay installed but pass traffic
+// through untouched), and Detach is safe even with packets in flight.
 func ExampleVSwitch_Detach() {
 	s := sim.New(1)
 	h := netsim.NewHost(s, "h", packet.MakeAddr(10, 0, 0, 1))
 	h.NIC = netsim.NewLink(s, "nic", 10e9, sim.Microsecond,
 		netsim.HandlerFunc(func(*packet.Packet) {}))
 	v := core.Attach(s, h, core.DefaultConfig())
-	fmt.Println("attached:", h.Egress != nil)
+	fmt.Println("attached:", v.Attached())
 	v.Detach()
-	fmt.Println("attached:", h.Egress != nil)
+	fmt.Println("attached:", v.Attached())
 	// Output:
 	// attached: true
 	// attached: false

@@ -9,6 +9,8 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"sync"
 
 	"acdc/internal/metrics"
@@ -45,6 +47,31 @@ type Policy struct {
 
 // DefaultPolicy is plain DCTCP enforcement.
 func DefaultPolicy() Policy { return Policy{Beta: 1} }
+
+// Sanitized is the policy choke point: every path that installs a policy
+// into a flow — the live FlowPolicy callback (VSwitch.policy), runtime
+// installs (VSwitch.InstallPolicy), snapshot restore (flowRecord.sanitize),
+// and scenario-spec policies (internal/scenario) — routes through it, so a
+// hostile or malformed policy can never reach the enforcement math from any
+// direction. See sanitize for the exact clamps.
+func (p Policy) Sanitized() Policy { return p.sanitize() }
+
+// Validate reports why a policy would be rejected at an API boundary (the
+// daemon's policy stream, a config file). Sanitized silently clamps the same
+// conditions for paths that must make forward progress (a restored snapshot,
+// a callback's return value); Validate is for surfaces that can say no.
+func (p Policy) Validate() error {
+	if math.IsNaN(p.Beta) || p.Beta < 0 || p.Beta > 1 {
+		return fmt.Errorf("policy: beta %v outside [0,1]", p.Beta)
+	}
+	if p.RwndClampBytes < 0 {
+		return fmt.Errorf("policy: negative rwnd clamp %d", p.RwndClampBytes)
+	}
+	if !vccKnown(p.VCC) {
+		return fmt.Errorf("policy: unknown vcc %q (want dctcp, reno, or empty)", p.VCC)
+	}
+	return nil
+}
 
 // sanitize clamps a policy to the ranges the enforcement math tolerates:
 // β ∈ [0,1] (Equation 1 is only a *decrease* there; β>1 would grow the

@@ -1,0 +1,112 @@
+package core
+
+// Live per-flow policy installation — the vSwitch side of the daemon's
+// policy control plane (cmd/acdcd streams FlowPolicy updates here).
+//
+// Overrides live in a copy-on-write map behind an atomic pointer: installs
+// build a fresh map and CAS it in, so the datapath resolves policy at flow
+// setup with one atomic load and is never blocked by — or racing — a push.
+// Writers contend only with each other, and only on the CAS.
+//
+// Every accepted policy passes Validate (reject malformed input at the API
+// boundary) and then the Sanitized choke point (belt and braces with the
+// FlowPolicy and snapshot-restore paths), so a hostile update can never put
+// β>1 — a window that GROWS on congestion — into the enforcement math.
+
+// InstallPolicy validates p, records it as the live override for k, and
+// applies it to the flow immediately if one is already tracked. It returns
+// the policy as installed (post-sanitization). Safe to call from any
+// goroutine while traffic flows.
+func (v *VSwitch) InstallPolicy(k FlowKey, p Policy) (Policy, error) {
+	if err := p.Validate(); err != nil {
+		return Policy{}, err
+	}
+	p = p.Sanitized()
+	for {
+		old := v.overrides.Load()
+		var next map[FlowKey]Policy
+		if old == nil {
+			next = make(map[FlowKey]Policy, 1)
+		} else {
+			next = make(map[FlowKey]Policy, len(*old)+1)
+			for ok, op := range *old {
+				next[ok] = op
+			}
+		}
+		next[k] = p
+		if v.overrides.CompareAndSwap(old, &next) {
+			break
+		}
+	}
+	v.applyToLive(k, p)
+	v.Metrics.PolicyInstalls.Inc()
+	return p, nil
+}
+
+// ClearPolicy removes the live override for k, reverting the flow to the
+// configured FlowPolicy callback (or DefaultPolicy). It reports whether an
+// override existed.
+func (v *VSwitch) ClearPolicy(k FlowKey) bool {
+	for {
+		old := v.overrides.Load()
+		if old == nil {
+			return false
+		}
+		if _, ok := (*old)[k]; !ok {
+			return false
+		}
+		next := make(map[FlowKey]Policy, len(*old)-1)
+		for ok, op := range *old {
+			if ok != k {
+				next[ok] = op
+			}
+		}
+		if v.overrides.CompareAndSwap(old, &next) {
+			break
+		}
+	}
+	// Re-resolve through the normal chain so a tracked flow reverts now
+	// rather than on its next table miss.
+	v.applyToLive(k, v.policy(k))
+	return true
+}
+
+// PolicyOverride returns the live override for k, if any.
+func (v *VSwitch) PolicyOverride(k FlowKey) (Policy, bool) {
+	if m := v.overrides.Load(); m != nil {
+		p, ok := (*m)[k]
+		return p, ok
+	}
+	return Policy{}, false
+}
+
+// PolicyOverrides returns a copy of the live override table (admin listing).
+func (v *VSwitch) PolicyOverrides() map[FlowKey]Policy {
+	m := v.overrides.Load()
+	if m == nil {
+		return nil
+	}
+	out := make(map[FlowKey]Policy, len(*m))
+	for k, p := range *m {
+		out[k] = p
+	}
+	return out
+}
+
+// applyToLive pushes a resolved policy into an already-tracked flow under
+// its mutex, swapping the virtual-CC law if the algorithm changed (the same
+// mid-flight swap snapshot restore performs). Untracked keys are a no-op:
+// the override map catches the flow at setup.
+func (v *VSwitch) applyToLive(k FlowKey, p Policy) {
+	f := v.Table.Get(k)
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.Policy = p
+	if name := firstNonEmpty(p.VCC, v.Cfg.VCC); name != f.vcc.Name() {
+		f.vcc = newVCCOrDefault(name)
+		f.mCwnd, f.mAlpha = v.Metrics.flowHists(f.vcc.Name())
+	}
+	f.mu.Unlock()
+}

@@ -81,6 +81,10 @@ type DatapathMetrics struct {
 	FlowsAdoptedMidstream *metrics.LazyCounter // flows_adopted_midstream_total: sender flows adopted without a handshake
 	FeedbackResets        *metrics.LazyCounter // feedback_resets_total: cumulative-feedback regressions re-baselined (peer vSwitch restarted mid-flow)
 
+	// Live policy control plane (install.go). Lazy: a run that never streams
+	// a policy update keeps its telemetry byte-identical to older builds.
+	PolicyInstalls *metrics.LazyCounter // policy_installs_total: live per-flow policy overrides accepted
+
 	// Per-algorithm CWND/α distributions, sampled once per RTT at each α
 	// update. Lazily created per virtual-CC name (not hot path: flow setup).
 	mu         sync.Mutex
@@ -134,6 +138,7 @@ func NewDatapathMetrics(reg *metrics.Registry) *DatapathMetrics {
 		FlowsResynced:         reg.Lazy("flows_resynced_total"),
 		FlowsAdoptedMidstream: reg.Lazy("flows_adopted_midstream_total"),
 		FeedbackResets:        reg.Lazy("feedback_resets_total"),
+		PolicyInstalls:        reg.Lazy("policy_installs_total"),
 
 		cwndHists:  map[string]*metrics.Histogram{},
 		alphaHists: map[string]*metrics.Histogram{},
@@ -189,6 +194,7 @@ type Stats struct {
 	FlowsResynced                int64
 	FlowsAdoptedMidstream        int64
 	FeedbackResets               int64
+	PolicyInstalls               int64
 }
 
 // Stats reads the current counter values into a Stats snapshot.
@@ -222,5 +228,6 @@ func (v *VSwitch) Stats() Stats {
 		FlowsResynced:         m.FlowsResynced.Value(),
 		FlowsAdoptedMidstream: m.FlowsAdoptedMidstream.Value(),
 		FeedbackResets:        m.FeedbackResets.Value(),
+		PolicyInstalls:        m.PolicyInstalls.Value(),
 	}
 }

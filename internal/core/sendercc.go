@@ -155,8 +155,12 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 	// The overshoot gate only makes sense while enforcement is on: in
 	// observation mode (Figure 9) the guest is not bound by the virtual
 	// window, and tracking requires growth to follow the guest upward.
+	// A Policy.Disable flow is observation-mode regardless of Cfg.EnforceRwnd:
+	// the guest is not bound by the virtual window, so the overshoot gate must
+	// not freeze growth (and the rewrite below is skipped entirely).
+	enforcing := v.Cfg.EnforceRwnd && !f.Policy.Disable
 	cwndLimited := float64(f.maxInflight) >= f.CwndBytes-float64(f.MSS)
-	if v.Cfg.EnforceRwnd {
+	if enforcing {
 		cwndLimited = cwndLimited && float64(f.maxInflight) <= f.CwndBytes+float64(f.MSS)
 	}
 	f.maxInflight = f.SndNxt - f.SndUna
@@ -184,7 +188,7 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 	enforced := f.enforcedWindow(v.minRwnd(f))
 	overwrote := false
 	origWnd := t.Window()
-	if v.Cfg.EnforceRwnd && f.resync == resyncNone {
+	if enforcing && f.resync == resyncNone {
 		field := enforced >> f.PeerWScale
 		if field == 0 {
 			field = 1
@@ -208,7 +212,7 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 		ev.MinRwnd = v.minRwnd(f)
 		ev.WScale, ev.WScaleKnown = f.PeerWScale, f.WScaleKnown
 		ev.Resyncing = f.resync != resyncNone
-		ev.Enforce = v.Cfg.EnforceRwnd
+		ev.Enforce = enforcing
 		ev.Enforced = enforced
 		ev.OrigWnd, ev.NewWnd = origWnd, t.Window()
 		ev.Overwrote = overwrote
@@ -263,6 +267,13 @@ func (v *VSwitch) clampFlow(f *Flow) {
 // and optionally synthesize duplicate ACKs so a guest with a long RTO
 // retransmits promptly (§3.3).
 func (v *VSwitch) onVTimeout(f *Flow) {
+	// Membership guard: a warm restart under live traffic clears the table
+	// without stopping per-flow timers (resetTable cannot touch the
+	// simulator from a control-plane goroutine). An orphaned flow's timer
+	// still fires once; it must neither count a timeout nor re-arm.
+	if v.Table.Get(f.Key) != f {
+		return
+	}
 	f.mu.Lock()
 	if f.SndUna >= f.SndNxt {
 		f.mu.Unlock()

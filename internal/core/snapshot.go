@@ -493,10 +493,16 @@ func lessKey(a, b FlowKey) bool {
 // untouched, snapshot_corrupt_total is incremented, and the error is
 // returned for logging. Every restored data-direction flow enters the
 // conservative resync mode (resync.go) before enforcement resumes.
+//
+// Safe to call from a control-plane goroutine while the datapath processes
+// packets: flow creation goes through flowForRestore (no timer operations,
+// no pressure eviction), the policy fields route through the Sanitized
+// choke point (flowRecord.sanitize), and per-flow state is written under
+// each flow's mutex.
 func (v *VSwitch) RestoreSnapshot(data []byte) error {
 	_, recs, err := decodeSnapshot(data)
 	if err != nil {
-		v.resetTableLocked()
+		v.resetTable()
 		v.Metrics.SnapshotCorrupt.Inc()
 		return err
 	}
@@ -504,7 +510,7 @@ func (v *VSwitch) RestoreSnapshot(data []byte) error {
 	for i := range recs {
 		r := &recs[i]
 		r.sanitize(&v.Cfg)
-		f := v.flowFor(r.Key)
+		f := v.flowForRestore(r.Key)
 		if f == nil {
 			// Table at capacity (MaxFlows smaller than the snapshot): the
 			// overflow flows fail open exactly like new flows at capacity.
@@ -569,18 +575,15 @@ func newVCCOrDefault(name string) VirtualCC {
 	}
 }
 
-// resetTableLocked replaces the flow table with a fresh one, stopping every
-// per-flow timer and keeping the table-size gauge and churn counters
-// consistent (restart is removal, as far as accounting goes).
-func (v *VSwitch) resetTableLocked() {
-	var dropped int64
-	v.Table.Range(func(f *Flow) {
-		f.mu.Lock()
-		f.stopTimer()
-		f.mu.Unlock()
-		dropped++
-	})
-	v.Table = NewTable()
+// resetTable empties the flow table in place, keeping the table-size gauge
+// and churn counters consistent (restart is removal, as far as accounting
+// goes). It deliberately does NOT stop per-flow inactivity timers — timer
+// operations belong to the simulation goroutine, and resetTable may run from
+// a control-plane goroutine during a live restore. Orphaned timers instead
+// self-cancel when they fire: onVTimeout checks table membership and ignores
+// flows that are no longer the tracked entry for their key.
+func (v *VSwitch) resetTable() {
+	dropped := int64(v.Table.Clear())
 	if dropped > 0 {
 		v.Metrics.FlowsRemoved.Add(dropped)
 		v.Metrics.FlowTableSize.Add(-dropped)
@@ -593,8 +596,12 @@ func (v *VSwitch) resetTableLocked() {
 // live flows are re-adopted mid-stream by the datapath (resync.go). The
 // metrics registry survives (it models the host's observability agent, not
 // the vSwitch process), so operators see restart counters, not a reset.
+//
+// Restart manipulates the sweep timer and must run on the simulation
+// goroutine; a daemon marshals it through its command queue. (SaveSnapshot
+// and RestoreSnapshot, by contrast, are safe from any goroutine.)
 func (v *VSwitch) Restart(snapshot []byte) {
-	v.resetTableLocked()
+	v.resetTable()
 	if v.sweepTimer != nil {
 		v.sweepTimer.Stop()
 	}
@@ -607,12 +614,14 @@ func (v *VSwitch) Restart(snapshot []byte) {
 	}
 }
 
-// Reattach reinstalls the datapath hooks after a Detach (the restart
+// Reattach re-enables the datapath hooks after a Detach (the restart
 // scheduler detaches during the outage window so in-flight traffic passes
 // through a hook-less host, exactly like a dead OVS with fail-open flows).
+// Like Detach, it only flips the attached flag — the stable hook functions
+// Attach installed never move — so it is safe from any goroutine even with
+// packets mid-hook.
 func (v *VSwitch) Reattach() {
-	v.Host.Egress = v.EgressPath
-	v.Host.Ingress = v.IngressPath
+	v.attached.Store(true)
 }
 
 // FlowCount reports the current flow-table size (part of the restart-target

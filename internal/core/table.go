@@ -102,6 +102,22 @@ func (t *Table) Range(fn func(*Flow)) {
 	}
 }
 
+// Clear empties every shard in place and returns how many flows were
+// removed. Unlike swapping in a fresh Table, clearing in place is safe while
+// another goroutine reads the table through the same pointer (warm restart
+// under live traffic): each shard is emptied under its write lock.
+func (t *Table) Clear() int {
+	removed := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		removed += len(s.flows)
+		clear(s.flows)
+		s.mu.Unlock()
+	}
+	return removed
+}
+
 // Sweep removes flows failing keep and returns how many were removed.
 func (t *Table) Sweep(keep func(*Flow) bool) int {
 	removed := 0

@@ -1,0 +1,489 @@
+// Package daemon turns the batch simulator into a long-lived service: a
+// continuously advancing simulation (wall-clock paced, with bounded catch-up)
+// plus a localhost HTTP admin API for streaming per-flow policy updates,
+// scraping metrics, checkpointing and warm-restarting vSwitches, and probing
+// health. cmd/acdcd is the thin binary around it; internal/soak reuses the
+// same machinery to hammer the control plane in tests.
+//
+// # Threading model
+//
+// The simulation is single-threaded by contract (internal/sim), so the
+// daemon runs it on one dedicated goroutine — the sim loop — that alternates
+// pacer advances with commands drained from a bounded queue. Admin handlers
+// run on net/http's goroutines and touch the simulation in exactly two ways:
+//
+//   - Race-safe calls (InstallPolicy, SaveSnapshot, RestoreSnapshot, Detach,
+//     Reattach, metrics/flow reads) go direct: the core layer makes these
+//     safe against in-flight datapath batches.
+//   - Everything that manipulates simulator timers (Restart) is marshaled
+//     onto the sim loop through the command queue. A full queue is a
+//     transient apply failure: enqueue retries with bounded backoff and only
+//     then reports the overload to the client (HTTP 503).
+//
+// # Degradation
+//
+// The daemon degrades instead of dying: audit violations or a climbing
+// fail-open counter flip readiness to "degraded" (HTTP 503 on /readyz with
+// the reason) while the datapath, the admin API, and metrics keep serving.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"acdc/internal/audit"
+	"acdc/internal/core"
+	"acdc/internal/experiments"
+	"acdc/internal/faults"
+	"acdc/internal/metrics"
+	"acdc/internal/sim"
+	"acdc/internal/tcpstack"
+	"acdc/internal/topo"
+	"acdc/internal/workload"
+)
+
+// Config parameterizes a daemon.
+type Config struct {
+	// Hosts is the star-topology size (default 4).
+	Hosts int
+	// Seed seeds the simulation (default 1).
+	Seed int64
+	// Scale is virtual nanoseconds advanced per wall nanosecond. Simulating
+	// a 10G fabric in real time is far beyond one core, so the default runs
+	// the virtual clock at 1/20 wall speed (0.05); operators size it to
+	// their topology.
+	Scale float64
+	// MaxCatchUp bounds the virtual time replayed after a stall (default
+	// 50ms virtual). Beyond it the pacer forgives lag — the daemon runs
+	// slightly behind rather than freezing to replay.
+	MaxCatchUp sim.Duration
+	// Tick is the wall interval between pacer advances (default 2ms).
+	Tick time.Duration
+	// AuditSample attaches the datapath invariant auditor with 1-in-N
+	// sampling (default 64; state transitions are always checked). 0 keeps
+	// the default; negative disables auditing entirely.
+	AuditSample int
+	// FailOpenLimit is the fail_open_total count (summed over hosts) at
+	// which readiness degrades (default 10000).
+	FailOpenLimit int64
+	// QueueDepth bounds the sim-loop command queue (default 64).
+	QueueDepth int
+	// Workload, when true, drives continuous background bulk traffic so the
+	// service has live flows without an external driver (default off; the
+	// binary turns it on).
+	Workload bool
+	// Tune, when set, adjusts the AC/DC datapath config (a private copy)
+	// before the fabric is built — e.g. the soak harness shortens
+	// IdleTimeout so churned flows age out within the run.
+	Tune func(*core.Config)
+	// Faults, when non-nil and enabled, installs a deterministic fault
+	// injector on every link. Flip regimes later with SetFaultProfile.
+	Faults *faults.Profile
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hosts <= 0 {
+		c.Hosts = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.05
+	}
+	if c.MaxCatchUp <= 0 {
+		c.MaxCatchUp = 50 * sim.Millisecond
+	}
+	if c.Tick <= 0 {
+		c.Tick = 2 * time.Millisecond
+	}
+	if c.AuditSample == 0 {
+		c.AuditSample = 64
+	}
+	if c.FailOpenLimit <= 0 {
+		c.FailOpenLimit = 10000
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// ErrBusy reports a command queue that stayed full through every retry — the
+// sim loop is overloaded or stalled; the client should back off and retry.
+var ErrBusy = errors.New("daemon: sim loop busy (command queue full)")
+
+// ErrStopped reports a daemon that is shutting down.
+var ErrStopped = errors.New("daemon: stopped")
+
+// Daemon is one running service instance.
+type Daemon struct {
+	cfg   Config
+	net   *topo.Net
+	pacer *sim.Pacer
+
+	cmds chan func()
+	quit chan struct{}
+	done chan struct{}
+
+	started time.Time
+	stopped atomic.Bool
+
+	// Control-plane op counters (admin surface, not datapath metrics).
+	policyUpdates  atomic.Int64
+	policyRejects  atomic.Int64
+	restarts       atomic.Int64
+	enqueueRetries atomic.Int64
+}
+
+// New builds the daemon's simulated fabric (a star of cfg.Hosts hosts with
+// AC/DC attached everywhere, DCTCP-marking switches) and its pacer. The sim
+// loop does not run until Start.
+func New(cfg Config) *Daemon {
+	cfg = cfg.withDefaults()
+	scheme := experiments.SchemeACDC(tcpstack.DefaultConfig().MTU, "cubic", tcpstack.ECNOff)
+	acdcCfg := *scheme.ACDC
+	if cfg.Tune != nil {
+		cfg.Tune(&acdcCfg)
+	}
+	opts := topo.Options{
+		Guest:  scheme.Guest,
+		ACDC:   &acdcCfg,
+		RED:    scheme.RED,
+		Seed:   cfg.Seed,
+		Faults: cfg.Faults,
+	}
+	if cfg.AuditSample > 0 {
+		opts.Audit = &audit.Config{Sample: cfg.AuditSample}
+	}
+	net := topo.Star(cfg.Hosts, opts)
+	d := &Daemon{
+		cfg:   cfg,
+		net:   net,
+		pacer: sim.NewPacer(net.Sim, cfg.Scale, cfg.MaxCatchUp),
+		cmds:  make(chan func(), cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if cfg.Workload {
+		d.startWorkload()
+	}
+	return d
+}
+
+// Net exposes the underlying fabric (tests, soak harness).
+func (d *Daemon) Net() *topo.Net { return d.net }
+
+// startWorkload opens a ring of persistent bulk connections (host i → i+1)
+// and keeps them topped up from a self-rescheduling sim event, so the
+// service always has live flows to enforce on.
+func (d *Daemon) startWorkload() {
+	m := workload.NewManager(d.net)
+	flows := make([]*workload.Messenger, 0, d.cfg.Hosts)
+	for i := 0; i < d.cfg.Hosts; i++ {
+		flows = append(flows, m.Open(i, (i+1)%d.cfg.Hosts))
+	}
+	const chunk = 1 << 20
+	var refill func()
+	refill = func() {
+		for _, f := range flows {
+			f.SendBulk(chunk)
+		}
+		d.net.Sim.ScheduleFunc(10*sim.Millisecond, refill)
+	}
+	d.net.Sim.ScheduleFunc(0, refill)
+}
+
+// Start launches the sim loop. Stop shuts it down.
+func (d *Daemon) Start() {
+	d.started = time.Now()
+	go d.loop()
+}
+
+// Stop shuts the sim loop down and waits for it to exit. Idempotent.
+func (d *Daemon) Stop() {
+	if d.stopped.CompareAndSwap(false, true) {
+		close(d.quit)
+		d.net.Sim.Stop() // interrupt a long catch-up Run mid-advance
+	}
+	<-d.done
+}
+
+// loop is the sim goroutine: wall-paced advances interleaved with marshaled
+// commands.
+func (d *Daemon) loop() {
+	defer close(d.done)
+	ticker := time.NewTicker(d.cfg.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.quit:
+			return
+		case fn := <-d.cmds:
+			fn()
+		case <-ticker.C:
+			d.pacer.Advance()
+			d.drain()
+		}
+	}
+}
+
+// drain runs queued commands without blocking, so a burst of admin ops does
+// not wait a full tick each.
+func (d *Daemon) drain() {
+	for {
+		select {
+		case fn := <-d.cmds:
+			fn()
+		default:
+			return
+		}
+	}
+}
+
+// enqueue submits fn to the sim loop with bounded retry+backoff: a full
+// queue is transient (the loop drains every tick), so the daemon absorbs
+// short bursts before surfacing ErrBusy.
+func (d *Daemon) enqueue(fn func()) error {
+	backoff := d.cfg.Tick
+	for attempt := 0; attempt < 4; attempt++ {
+		if d.stopped.Load() {
+			return ErrStopped
+		}
+		select {
+		case d.cmds <- fn:
+			return nil
+		default:
+		}
+		d.enqueueRetries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	return ErrBusy
+}
+
+// Exec marshals fn onto the sim loop and waits for it to run — the door for
+// operations the core layers restrict to the simulation goroutine (Restart,
+// fault-profile flips, workload control). fn must not block, or the whole
+// service stalls. A full queue surfaces as ErrBusy after bounded retries.
+func (d *Daemon) Exec(fn func()) error {
+	ran := make(chan struct{})
+	err := d.enqueue(func() {
+		defer close(ran)
+		fn()
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-d.done:
+		return ErrStopped
+	}
+}
+
+// vswitch resolves a host index to its AC/DC module.
+func (d *Daemon) vswitch(host int) (*core.VSwitch, error) {
+	if host < 0 || host >= len(d.net.ACDC) {
+		return nil, fmt.Errorf("daemon: host %d out of range [0,%d)", host, len(d.net.ACDC))
+	}
+	v := d.net.ACDC[host]
+	if v == nil {
+		return nil, fmt.Errorf("daemon: host %d has no AC/DC module", host)
+	}
+	return v, nil
+}
+
+// InstallPolicy validates and installs a live per-flow policy on one host's
+// vSwitch. Race-safe: no marshaling needed.
+func (d *Daemon) InstallPolicy(host int, k core.FlowKey, p core.Policy) (core.Policy, error) {
+	v, err := d.vswitch(host)
+	if err != nil {
+		return core.Policy{}, err
+	}
+	installed, err := v.InstallPolicy(k, p)
+	if err != nil {
+		d.policyRejects.Add(1)
+		return core.Policy{}, err
+	}
+	d.policyUpdates.Add(1)
+	return installed, nil
+}
+
+// ClearPolicy removes a live override.
+func (d *Daemon) ClearPolicy(host int, k core.FlowKey) (bool, error) {
+	v, err := d.vswitch(host)
+	if err != nil {
+		return false, err
+	}
+	return v.ClearPolicy(k), nil
+}
+
+// SaveSnapshot checkpoints one host's flow table.
+func (d *Daemon) SaveSnapshot(host int) ([]byte, error) {
+	v, err := d.vswitch(host)
+	if err != nil {
+		return nil, err
+	}
+	return v.SaveSnapshot(), nil
+}
+
+// RestoreSnapshot installs a checkpoint into one host's flow table. A decode
+// failure fails open on the vSwitch and is returned to the client.
+func (d *Daemon) RestoreSnapshot(host int, data []byte) error {
+	v, err := d.vswitch(host)
+	if err != nil {
+		return err
+	}
+	return v.RestoreSnapshot(data)
+}
+
+// Restart warm- or cold-restarts one host's vSwitch. Restart manipulates sim
+// timers, so it is marshaled onto the sim loop; a saturated queue surfaces
+// as ErrBusy after bounded retries.
+func (d *Daemon) Restart(host int, warm bool) error {
+	v, err := d.vswitch(host)
+	if err != nil {
+		return err
+	}
+	var snap []byte
+	if warm {
+		snap = v.SaveSnapshot()
+	}
+	if err := d.Exec(func() { v.Restart(snap) }); err != nil {
+		return err
+	}
+	d.restarts.Add(1)
+	return nil
+}
+
+// SetFaultProfile flips the link fault regime. It errors when the daemon was
+// built without Config.Faults (no injector is attached to flip).
+func (d *Daemon) SetFaultProfile(p faults.Profile) error {
+	in := d.net.Faults
+	if in == nil {
+		return errors.New("daemon: no fault injector configured")
+	}
+	return d.Exec(func() { in.SetProfile(p) })
+}
+
+// MetricsSnapshot merges every host's datapath registry into one view.
+func (d *Daemon) MetricsSnapshot() metrics.Snapshot {
+	snaps := make([]metrics.Snapshot, 0, len(d.net.ACDC))
+	for _, v := range d.net.ACDC {
+		if v != nil {
+			snaps = append(snaps, v.Metrics.Snapshot())
+		}
+	}
+	return metrics.Merge(snaps...)
+}
+
+// FlowInfo is one tracked flow as the admin API reports it.
+type FlowInfo struct {
+	Host      int     `json:"host"`
+	Src       string  `json:"src"`
+	Dst       string  `json:"dst"`
+	SPort     uint16  `json:"sport"`
+	DPort     uint16  `json:"dport"`
+	CwndBytes float64 `json:"cwnd_bytes"`
+	Alpha     float64 `json:"alpha"`
+	SndUna    int64   `json:"snd_una"`
+	SndNxt    int64   `json:"snd_nxt"`
+	Resyncing bool    `json:"resyncing,omitempty"`
+}
+
+// Flows lists tracked flows; host < 0 lists every host.
+func (d *Daemon) Flows(host int) ([]FlowInfo, error) {
+	if host >= len(d.net.ACDC) {
+		return nil, fmt.Errorf("daemon: host %d out of range [0,%d)", host, len(d.net.ACDC))
+	}
+	var out []FlowInfo
+	for i, v := range d.net.ACDC {
+		if v == nil || (host >= 0 && i != host) {
+			continue
+		}
+		i := i
+		v.Table.Range(func(f *core.Flow) {
+			s := f.Snapshot()
+			out = append(out, FlowInfo{
+				Host: i,
+				Src:  f.Key.Src.String(), Dst: f.Key.Dst.String(),
+				SPort: f.Key.SPort, DPort: f.Key.DPort,
+				CwndBytes: s.CwndBytes, Alpha: s.Alpha,
+				SndUna: s.SndUna, SndNxt: s.SndNxt,
+				Resyncing: s.Resyncing,
+			})
+		})
+	}
+	return out, nil
+}
+
+// Status is the admin status report.
+type Status struct {
+	SimNow         string  `json:"sim_now"`
+	SimNowNanos    int64   `json:"sim_now_nanos"`
+	ForgivenNanos  int64   `json:"forgiven_nanos"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Hosts          int     `json:"hosts"`
+	Flows          int     `json:"flows"`
+	PolicyUpdates  int64   `json:"policy_updates"`
+	PolicyRejects  int64   `json:"policy_rejects"`
+	Restarts       int64   `json:"restarts"`
+	EnqueueRetries int64   `json:"enqueue_retries"`
+	AuditTotal     int64   `json:"audit_violations"`
+	FailOpen       int64   `json:"fail_open"`
+	Degraded       string  `json:"degraded,omitempty"`
+}
+
+// StatusNow assembles the current status. Everything it reads is
+// goroutine-safe (atomic sim clock, sharded table, atomic counters).
+func (d *Daemon) StatusNow() Status {
+	now := d.net.Sim.Now()
+	flows := 0
+	var failOpen int64
+	for _, v := range d.net.ACDC {
+		if v != nil {
+			flows += v.FlowCount()
+			failOpen += v.Metrics.FailOpen.Value()
+		}
+	}
+	return Status{
+		SimNow:         now.String(),
+		SimNowNanos:    int64(now),
+		ForgivenNanos:  int64(d.pacer.Forgiven()),
+		UptimeSeconds:  time.Since(d.started).Seconds(),
+		Hosts:          d.cfg.Hosts,
+		Flows:          flows,
+		PolicyUpdates:  d.policyUpdates.Load(),
+		PolicyRejects:  d.policyRejects.Load(),
+		Restarts:       d.restarts.Load(),
+		EnqueueRetries: d.enqueueRetries.Load(),
+		AuditTotal:     d.net.AuditViolations(),
+		FailOpen:       failOpen,
+		Degraded:       d.DegradedReason(),
+	}
+}
+
+// DegradedReason reports why the daemon is degraded, or "" when ready. The
+// daemon never exits on these conditions — a vSwitch that fails open or
+// trips the auditor is worth keeping alive for diagnosis — but readiness
+// reflects them so an orchestrator can drain traffic away.
+func (d *Daemon) DegradedReason() string {
+	if n := d.net.AuditViolations(); n > 0 {
+		return fmt.Sprintf("audit: %d invariant violations", n)
+	}
+	var failOpen int64
+	for _, v := range d.net.ACDC {
+		if v != nil {
+			failOpen += v.Metrics.FailOpen.Value()
+		}
+	}
+	if failOpen >= d.cfg.FailOpenLimit {
+		return fmt.Sprintf("fail-open: %d packets passed unenforced (limit %d)",
+			failOpen, d.cfg.FailOpenLimit)
+	}
+	return ""
+}

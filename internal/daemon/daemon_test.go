@@ -1,0 +1,260 @@
+package daemon
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"acdc/internal/core"
+	"acdc/internal/sim"
+)
+
+// startDaemon runs a small paced daemon with background traffic and an
+// httptest admin server, and tears both down with the test.
+func startDaemon(t *testing.T, cfg Config) (*Daemon, *Client) {
+	t.Helper()
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 2
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1.0
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = time.Millisecond
+	}
+	d := New(cfg)
+	d.Start()
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		d.Stop()
+	})
+	return d, NewClient(srv.URL, nil)
+}
+
+// waitFor polls cond for up to 2 seconds of wall time.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestDaemonAdvancesAndServes(t *testing.T) {
+	d, c := startDaemon(t, Config{Workload: true})
+	if err := c.Health(); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if err := c.Ready(); err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	// The pacer must keep the virtual clock moving with wall time.
+	waitFor(t, "virtual time to advance", func() bool {
+		return d.Net().Sim.Now() > 10*sim.Millisecond
+	})
+	// With the background workload on, flows appear and metrics count.
+	waitFor(t, "flows to be tracked", func() bool {
+		flows, err := c.Flows(-1)
+		return err == nil && len(flows) > 0
+	})
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{"egress_segments_total", "flow_table_size"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics text missing %q:\n%s", want, text)
+		}
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.SimNowNanos == 0 || st.Hosts != 2 || st.Degraded != "" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestPolicyStreamMixedResults(t *testing.T) {
+	d, c := startDaemon(t, Config{Workload: true})
+	waitFor(t, "flows", func() bool {
+		flows, err := c.Flows(0)
+		return err == nil && len(flows) > 0
+	})
+	flows, _ := c.Flows(0)
+	f := flows[0]
+
+	results, err := c.SendPolicies(
+		PolicyUpdate{Host: 0, Src: f.Src, Dst: f.Dst, SPort: f.SPort, DPort: f.DPort,
+			Beta: 0.5, RwndClampBytes: 1 << 20},
+		PolicyUpdate{Host: 0, Src: f.Src, Dst: f.Dst, SPort: f.SPort, DPort: f.DPort,
+			Beta: 3}, // hostile: must be rejected, not clamped silently
+		PolicyUpdate{Host: 0, Src: "not-an-addr", Dst: f.Dst, Beta: 1},
+		PolicyUpdate{Host: 99, Src: f.Src, Dst: f.Dst, Beta: 1},
+	)
+	if err != nil {
+		t.Fatalf("SendPolicies (one valid update): %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %+v, want 4 entries", results)
+	}
+	if !results[0].OK || results[0].Installed == nil || results[0].Installed.Beta != 0.5 {
+		t.Fatalf("valid update result = %+v", results[0])
+	}
+	for i := 1; i < 4; i++ {
+		if results[i].OK {
+			t.Fatalf("update %d accepted: %+v", i, results[i])
+		}
+	}
+	if !strings.Contains(results[1].Error, "beta") {
+		t.Fatalf("hostile β rejection reason = %q", results[1].Error)
+	}
+	st := d.StatusNow()
+	if st.PolicyUpdates != 1 || st.PolicyRejects != 1 {
+		t.Fatalf("updates/rejects = %d/%d, want 1/1", st.PolicyUpdates, st.PolicyRejects)
+	}
+	// The installed override is live on the vSwitch.
+	k, _ := (PolicyUpdate{Src: f.Src, Dst: f.Dst, SPort: f.SPort, DPort: f.DPort}).key()
+	if p, ok := d.Net().ACDC[0].PolicyOverride(k); !ok || p.Beta != 0.5 {
+		t.Fatalf("override not live: %+v ok=%v", p, ok)
+	}
+}
+
+func TestPolicyStreamAllFailedIs400(t *testing.T) {
+	_, c := startDaemon(t, Config{})
+	results, err := c.SendPolicies(
+		PolicyUpdate{Host: 0, Src: "10.0.0.1", Dst: "10.0.0.2", Beta: -1},
+	)
+	if err == nil {
+		t.Fatal("all-failed stream did not error")
+	}
+	if len(results) != 1 || results[0].OK {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestSnapshotRoundTripAndRestart(t *testing.T) {
+	d, c := startDaemon(t, Config{Workload: true})
+	waitFor(t, "flows on host 0", func() bool {
+		return d.Net().ACDC[0].FlowCount() > 0
+	})
+	snap, err := c.SaveSnapshot(0)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := c.RestoreSnapshot(0, snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if err := c.RestoreSnapshot(0, []byte("garbage")); err == nil {
+		t.Fatal("corrupt restore did not error")
+	}
+	if err := c.Restart(0, true); err != nil {
+		t.Fatalf("warm restart: %v", err)
+	}
+	if err := c.Restart(0, false); err != nil {
+		t.Fatalf("cold restart: %v", err)
+	}
+	st := d.Net().ACDC[0].Stats()
+	if st.Restarts != 2 || st.SnapshotSaves < 2 || st.SnapshotRestores < 2 || st.SnapshotCorrupt != 1 {
+		t.Fatalf("restart accounting: %+v", st)
+	}
+	// The restarted vSwitch keeps enforcing: flows re-appear.
+	waitFor(t, "flows after restart", func() bool {
+		return d.Net().ACDC[0].FlowCount() > 0
+	})
+}
+
+func TestReadyzDegradesOnAuditViolation(t *testing.T) {
+	d, c := startDaemon(t, Config{})
+	if err := c.Ready(); err != nil {
+		t.Fatalf("readyz before violation: %v", err)
+	}
+	// Seed one invariant violation directly through the auditor's public
+	// event API: a β=3 cut whose factor exceeds 1 (the window grew on
+	// congestion) — exactly the defect class the auditor exists to catch.
+	v := d.Net().ACDC[0]
+	d.Net().Audits[0].CutEvent(v, core.CutEvent{
+		Key: core.FlowKey{SPort: 1, DPort: 2},
+		Alg: "dctcp", Alpha: 0.5, Beta: 3,
+		Factor: 1.25, PrevCwnd: 20000, NewCwnd: 25000,
+	})
+	err := c.Ready()
+	if err == nil {
+		t.Fatal("readyz stayed ready after an audit violation")
+	}
+	if !strings.Contains(err.Error(), "audit") {
+		t.Fatalf("degraded reason = %v", err)
+	}
+	// Liveness is unaffected: the daemon degrades, it does not die.
+	if err := c.Health(); err != nil {
+		t.Fatalf("healthz while degraded: %v", err)
+	}
+	if d.StatusNow().Degraded == "" {
+		t.Fatal("status does not report degradation")
+	}
+}
+
+func TestRestartBusyQueueSurfacesAfterRetries(t *testing.T) {
+	d, c := startDaemon(t, Config{QueueDepth: 1, Tick: time.Millisecond})
+	// Stall the sim loop on a blocked command, then fill the queue: the
+	// next marshaled op must exhaust its retries and surface 503.
+	unblock := make(chan struct{})
+	if err := d.enqueue(func() { <-unblock }); err != nil {
+		t.Fatalf("stall enqueue: %v", err)
+	}
+	waitFor(t, "loop to pick up the stall", func() bool {
+		// Queue drained means the loop is now blocked inside the command.
+		return len(d.cmds) == 0
+	})
+	if err := d.enqueue(func() {}); err != nil {
+		t.Fatalf("fill enqueue: %v", err)
+	}
+	start := time.Now()
+	err := c.Restart(0, false)
+	if err == nil {
+		t.Fatal("restart succeeded against a stalled sim loop")
+	}
+	if !strings.Contains(err.Error(), "503") {
+		t.Fatalf("stalled-loop restart error = %v, want 503", err)
+	}
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("restart failed after %v — no retry/backoff happened", elapsed)
+	}
+	if d.StatusNow().EnqueueRetries == 0 {
+		t.Fatal("no enqueue retries recorded")
+	}
+	close(unblock)
+	// The loop recovers: the queued no-op drains and new ops succeed.
+	waitFor(t, "loop recovery", func() bool {
+		return c.Restart(0, false) == nil
+	})
+}
+
+func TestFlowsWatchStreams(t *testing.T) {
+	_, c := startDaemon(t, Config{Workload: true})
+	data, err := c.do("GET", "/v1/flows/watch?every=20ms&for=100ms", nil)
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1
+	if lines < 3 {
+		t.Fatalf("watch produced %d snapshots over 100ms at 20ms, want ≥3", lines)
+	}
+}
+
+func TestStopIsIdempotentAndInterruptsLoop(t *testing.T) {
+	d := New(Config{Hosts: 2, Scale: 1.0, Tick: time.Millisecond, Workload: true})
+	d.Start()
+	time.Sleep(20 * time.Millisecond)
+	d.Stop()
+	d.Stop() // second Stop must not panic or hang
+	if err := d.Exec(func() {}); err == nil {
+		t.Fatal("exec succeeded after Stop")
+	}
+}

@@ -1,0 +1,347 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"acdc/internal/core"
+	"acdc/internal/packet"
+)
+
+// The admin API. Everything is localhost-plumbing-grade: JSON in/out, no
+// auth (bind to loopback), stable paths:
+//
+//	GET  /healthz             liveness (200 while the process serves)
+//	GET  /readyz              readiness (503 + reason while degraded)
+//	GET  /status              Status JSON
+//	GET  /metrics             merged datapath metrics, text encoding
+//	GET  /v1/flows[?host=i]   tracked flows
+//	GET  /v1/flows/watch      NDJSON flow snapshots (?every=100ms&for=2s)
+//	POST /v1/policy           one PolicyUpdate or an NDJSON stream of them
+//	POST /v1/snapshot/save    ?host=i → snapshot bytes (octet-stream)
+//	POST /v1/snapshot/restore ?host=i, body = snapshot bytes
+//	POST /v1/restart          ?host=i&mode=warm|cold
+//
+// Apply failures map to status codes: validation → 400, overload (ErrBusy
+// after bounded retry+backoff) → 503, unknown host → 404.
+
+// PolicyUpdate is one streamed policy operation.
+type PolicyUpdate struct {
+	Host  int    `json:"host"`
+	Src   string `json:"src"`
+	Dst   string `json:"dst"`
+	SPort uint16 `json:"sport"`
+	DPort uint16 `json:"dport"`
+
+	Beta           float64 `json:"beta"`
+	RwndClampBytes int64   `json:"rwnd_clamp_bytes,omitempty"`
+	VCC            string  `json:"vcc,omitempty"`
+	Disable        bool    `json:"disable,omitempty"`
+	// Clear removes the override instead of installing one.
+	Clear bool `json:"clear,omitempty"`
+}
+
+// PolicyResult reports one update's outcome in the response stream.
+type PolicyResult struct {
+	Index     int          `json:"index"`
+	OK        bool         `json:"ok"`
+	Error     string       `json:"error,omitempty"`
+	Installed *core.Policy `json:"installed,omitempty"`
+	Cleared   bool         `json:"cleared,omitempty"`
+}
+
+// ParseAddr parses a dotted-quad IPv4 address into a packet.Addr.
+func ParseAddr(s string) (packet.Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("address %q is not dotted-quad", s)
+	}
+	var b [4]byte
+	for i, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("address %q: octet %q: %v", s, p, err)
+		}
+		b[i] = byte(n)
+	}
+	return packet.MakeAddr(b[0], b[1], b[2], b[3]), nil
+}
+
+func (u PolicyUpdate) key() (core.FlowKey, error) {
+	src, err := ParseAddr(u.Src)
+	if err != nil {
+		return core.FlowKey{}, err
+	}
+	dst, err := ParseAddr(u.Dst)
+	if err != nil {
+		return core.FlowKey{}, err
+	}
+	return core.FlowKey{Src: src, Dst: dst, SPort: u.SPort, DPort: u.DPort}, nil
+}
+
+func (u PolicyUpdate) policy() core.Policy {
+	return core.Policy{
+		Beta:           u.Beta,
+		RwndClampBytes: u.RwndClampBytes,
+		VCC:            u.VCC,
+		Disable:        u.Disable,
+	}
+}
+
+// Handler returns the admin API handler.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", d.handleReady)
+	mux.HandleFunc("GET /status", d.handleStatus)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /v1/flows", d.handleFlows)
+	mux.HandleFunc("GET /v1/flows/watch", d.handleFlowsWatch)
+	mux.HandleFunc("POST /v1/policy", d.handlePolicy)
+	mux.HandleFunc("POST /v1/snapshot/save", d.handleSnapshotSave)
+	mux.HandleFunc("POST /v1/snapshot/restore", d.handleSnapshotRestore)
+	mux.HandleFunc("POST /v1/restart", d.handleRestart)
+	return mux
+}
+
+func (d *Daemon) handleReady(w http.ResponseWriter, r *http.Request) {
+	if reason := d.DegradedReason(); reason != "" {
+		http.Error(w, "degraded: "+reason, http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, d.StatusNow())
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, d.MetricsSnapshot().Text())
+}
+
+// hostParam parses ?host=; required reports whether the endpoint needs it.
+func hostParam(r *http.Request, required bool) (int, error) {
+	s := r.URL.Query().Get("host")
+	if s == "" {
+		if required {
+			return 0, errors.New("missing required ?host= parameter")
+		}
+		return -1, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func (d *Daemon) handleFlows(w http.ResponseWriter, r *http.Request) {
+	host, err := hostParam(r, false)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	flows, err := d.Flows(host)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, flows)
+}
+
+// handleFlowsWatch streams flow snapshots as NDJSON arrays, one line per
+// interval, until ?for= elapses (default 1s, capped at 30s).
+func (d *Daemon) handleFlowsWatch(w http.ResponseWriter, r *http.Request) {
+	host, err := hostParam(r, false)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	every, dur := 100*time.Millisecond, time.Second
+	if s := r.URL.Query().Get("every"); s != "" {
+		if every, err = time.ParseDuration(s); err != nil || every <= 0 {
+			http.Error(w, "bad ?every=", http.StatusBadRequest)
+			return
+		}
+	}
+	if s := r.URL.Query().Get("for"); s != "" {
+		if dur, err = time.ParseDuration(s); err != nil || dur <= 0 {
+			http.Error(w, "bad ?for=", http.StatusBadRequest)
+			return
+		}
+	}
+	if dur > 30*time.Second {
+		dur = 30 * time.Second
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	deadline := time.Now().Add(dur)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		flows, err := d.Flows(host)
+		if err != nil {
+			return
+		}
+		if flows == nil {
+			flows = []FlowInfo{}
+		}
+		if enc.Encode(flows) != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		select {
+		case <-ticker.C:
+		case <-r.Context().Done():
+			return
+		case <-d.done:
+			return
+		}
+	}
+}
+
+// handlePolicy consumes one PolicyUpdate or an NDJSON stream of them and
+// responds with one PolicyResult per update. The stream is applied in order;
+// a malformed or rejected update is reported in its result and does not
+// abort the rest (the controller decides what to do with partial failures).
+func (d *Daemon) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	var results []PolicyResult
+	for i := 0; ; i++ {
+		var u PolicyUpdate
+		if err := dec.Decode(&u); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			results = append(results, PolicyResult{
+				Index: i, Error: "decode: " + err.Error(),
+			})
+			break // the stream is unparseable past this point
+		}
+		results = append(results, d.applyUpdate(i, u))
+	}
+	if len(results) == 0 {
+		http.Error(w, "empty policy stream", http.StatusBadRequest)
+		return
+	}
+	// One bad update in a batch is a partial failure: report 400 only when
+	// everything failed, 200 with per-update results otherwise.
+	allFailed := true
+	for _, res := range results {
+		if res.OK {
+			allFailed = false
+			break
+		}
+	}
+	if allFailed {
+		w.WriteHeader(http.StatusBadRequest)
+	}
+	writeJSON(w, results)
+}
+
+func (d *Daemon) applyUpdate(i int, u PolicyUpdate) PolicyResult {
+	k, err := u.key()
+	if err != nil {
+		return PolicyResult{Index: i, Error: err.Error()}
+	}
+	if u.Clear {
+		cleared, err := d.ClearPolicy(u.Host, k)
+		if err != nil {
+			return PolicyResult{Index: i, Error: err.Error()}
+		}
+		return PolicyResult{Index: i, OK: true, Cleared: cleared}
+	}
+	installed, err := d.InstallPolicy(u.Host, k, u.policy())
+	if err != nil {
+		return PolicyResult{Index: i, Error: err.Error()}
+	}
+	return PolicyResult{Index: i, OK: true, Installed: &installed}
+}
+
+func (d *Daemon) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
+	host, err := hostParam(r, true)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	snap, err := d.SaveSnapshot(host)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(snap)
+}
+
+func (d *Daemon) handleSnapshotRestore(w http.ResponseWriter, r *http.Request) {
+	host, err := hostParam(r, true)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := d.RestoreSnapshot(host, data); err != nil {
+		// The vSwitch already failed open (fresh table); tell the client
+		// its snapshot was rejected.
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	io.WriteString(w, "restored\n")
+}
+
+func (d *Daemon) handleRestart(w http.ResponseWriter, r *http.Request) {
+	host, err := hostParam(r, true)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "warm"
+	}
+	if mode != "warm" && mode != "cold" {
+		http.Error(w, "mode must be warm or cold", http.StatusBadRequest)
+		return
+	}
+	if err := d.Restart(host, mode == "warm"); err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	fmt.Fprintf(w, "%s restart done\n", mode)
+}
+
+// statusFor maps daemon errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrStopped):
+		return http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "out of range"),
+		strings.Contains(err.Error(), "no AC/DC module"):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -159,6 +159,9 @@ func Parse(s string) (Profile, error) {
 		return p, nil
 	}
 	if !strings.Contains(s, "=") {
+		if near := Nearest(s, Names()); near != "" {
+			return Profile{}, fmt.Errorf("faults: unknown profile %q (did you mean %q?)", s, near)
+		}
 		return Profile{}, fmt.Errorf("faults: unknown profile %q (have %s)", s, strings.Join(Names(), ", "))
 	}
 	var p Profile

@@ -35,3 +35,43 @@ func RestartHelp() string {
 	b.WriteString("example: stale@1ms,age=500us,down=50us,host=0\n")
 	return b.String()
 }
+
+// Nearest returns the candidate most plausibly meant by a mistyped name: the
+// smallest edit distance at most 2, with prefix matches accepted at any
+// length ("heavy" → "heavy-loss"). It returns "" when nothing is close —
+// suggesting a wild guess is worse than listing the catalog. Shared by every
+// unknown-name error path (fault profiles, scenario selection) so typo
+// diagnostics look the same across binaries.
+func Nearest(name string, candidates []string) string {
+	best, bestDist := "", 3
+	for _, c := range candidates {
+		if strings.HasPrefix(c, name) && name != "" {
+			return c
+		}
+		if d := editDistance(name, c); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

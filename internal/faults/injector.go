@@ -56,6 +56,15 @@ func NewInjector(prof Profile, seed int64) *Injector {
 // Profile returns the injected profile.
 func (in *Injector) Profile() Profile { return in.prof }
 
+// SetProfile swaps the fault mix on a live injector — how a soak harness
+// flips fault regimes mid-run without rebuilding the topology. The profile is
+// read by Hook on the simulation goroutine, so SetProfile must run there too
+// (a daemon marshals it through its command queue). Swapping in a disabled
+// profile quiesces faults but keeps the hook attached, so a later swap can
+// re-enable them; an injector built with a disabled profile never attached
+// hooks and stays inert.
+func (in *Injector) SetProfile(p Profile) { in.prof = p.withDefaults() }
+
 // Registry exposes the injection counters for telemetry merging.
 func (in *Injector) Registry() *metrics.Registry { return in.reg }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"acdc/internal/faults"
 	"acdc/internal/sim"
 )
 
@@ -247,6 +248,13 @@ func CatalogByName(names ...string) ([]Spec, error) {
 	for _, n := range names {
 		s, ok := byName[n]
 		if !ok {
+			catalogNames := make([]string, 0, len(all))
+			for _, c := range all {
+				catalogNames = append(catalogNames, c.Name)
+			}
+			if near := faults.Nearest(n, catalogNames); near != "" {
+				return nil, fmt.Errorf("scenario: unknown scenario %q (did you mean %q?)", n, near)
+			}
 			return nil, fmt.Errorf("scenario: unknown scenario %q (run with `list` for the catalog)", n)
 		}
 		out = append(out, s)

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced wall clock for deterministic pacer tests.
+type fakeClock struct{ now time.Duration }
+
+func (c *fakeClock) read() time.Duration  { return c.now }
+func (c *fakeClock) tick(d time.Duration) { c.now += d }
+
+func TestPacerTracksWallClock(t *testing.T) {
+	s := New(1)
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(Duration(i)*Millisecond, func() { fired++ })
+	}
+	p := NewPacer(s, 1.0, Second)
+	clk := &fakeClock{}
+	p.SetClock(clk.read)
+
+	clk.tick(5 * time.Millisecond)
+	if got := p.Advance(); got != 5*Millisecond {
+		t.Fatalf("Advance reached %v, want 5ms", got)
+	}
+	if fired != 5 {
+		t.Fatalf("fired %d events by 5ms, want 5", fired)
+	}
+	clk.tick(5 * time.Millisecond)
+	p.Advance()
+	if fired != 10 {
+		t.Fatalf("fired %d events by 10ms, want 10", fired)
+	}
+	if p.Forgiven() != 0 {
+		t.Fatalf("forgave %v with no stall", p.Forgiven())
+	}
+}
+
+func TestPacerScale(t *testing.T) {
+	s := New(1)
+	p := NewPacer(s, 0.5, Second)
+	clk := &fakeClock{}
+	p.SetClock(clk.read)
+
+	clk.tick(10 * time.Millisecond)
+	if got := p.Advance(); got != 5*Millisecond {
+		t.Fatalf("scale 0.5: 10ms wall advanced sim to %v, want 5ms", got)
+	}
+}
+
+func TestPacerBoundsCatchUp(t *testing.T) {
+	s := New(1)
+	p := NewPacer(s, 1.0, 10*Millisecond)
+	clk := &fakeClock{}
+	p.SetClock(clk.read)
+
+	// A 1-second stall: only MaxCatchUp is replayed, the rest is forgiven.
+	clk.tick(time.Second)
+	if got := p.Advance(); got != 10*Millisecond {
+		t.Fatalf("stall replayed to %v, want the 10ms bound", got)
+	}
+	if want := Second - 10*Millisecond; p.Forgiven() != want {
+		t.Fatalf("forgiven %v, want %v", p.Forgiven(), want)
+	}
+	// After the rebase, normal pacing resumes without re-counting the lag.
+	clk.tick(2 * time.Millisecond)
+	if got := p.Advance(); got != 12*Millisecond {
+		t.Fatalf("post-stall advance reached %v, want 12ms", got)
+	}
+	if want := Second - 10*Millisecond; p.Forgiven() != want {
+		t.Fatalf("forgiven grew to %v after recovery, want %v", p.Forgiven(), want)
+	}
+}
+
+func TestPacerIdleWhenAhead(t *testing.T) {
+	s := New(1)
+	s.RunFor(5 * Millisecond)
+	p := NewPacer(s, 1.0, Second)
+	clk := &fakeClock{}
+	p.SetClock(clk.read)
+	// No wall time has passed: the sim must not move.
+	if got := p.Advance(); got != 5*Millisecond {
+		t.Fatalf("idle Advance moved the clock to %v", got)
+	}
+}
+
+// TestStopFromAnotherGoroutine pins the cross-goroutine contract a daemon
+// relies on: Stop interrupts a running Run, and Now is readable while the
+// simulation advances.
+func TestStopFromAnotherGoroutine(t *testing.T) {
+	s := New(1)
+	var reschedule func()
+	reschedule = func() { s.Schedule(Microsecond, reschedule) }
+	reschedule()
+
+	done := make(chan struct{})
+	go func() {
+		// Concurrent observers: Now and Allocated are atomic reads.
+		for s.Now() < 100*Microsecond {
+			_ = s.Allocated()
+		}
+		s.Stop()
+		close(done)
+	}()
+	s.Run(Second) // would run for a virtual second without the Stop
+	<-done
+	if now := s.Now(); now >= Second {
+		t.Fatalf("Stop did not interrupt Run (now=%v)", now)
+	}
+}

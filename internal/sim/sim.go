@@ -7,6 +7,13 @@
 // then by insertion sequence, so two events scheduled for the same instant
 // fire in the order they were scheduled.
 //
+// Two read paths are safe from other goroutines, which is what lets a
+// long-lived service (cmd/acdcd, internal/soak) observe and interrupt a
+// running simulation: Now and Allocated are atomic loads, and Stop may be
+// called concurrently to make Run return after the current event. Every
+// other method — scheduling, cancelling, Run itself — remains owned by the
+// simulation goroutine.
+//
 // # Event recycling
 //
 // Event structs are pooled on a per-Simulator free list: firing or cancelling
@@ -22,6 +29,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Time is a point in simulated time, in nanoseconds since simulation start.
@@ -78,30 +86,39 @@ const maxFreeEvents = 1 << 14
 
 // Simulator owns the virtual clock and the pending-event queue.
 type Simulator struct {
-	now     Time
+	// now is the virtual clock. It is written only by the simulation
+	// goroutine but read (via Now) by observers on other goroutines — an
+	// admin API reporting status, a flow snapshot taken mid-run — so it is
+	// an atomic Time in nanoseconds.
+	now     atomic.Int64
 	pq      []*Event // monomorphic binary min-heap ordered by (when, seq)
 	free    []*Event // recycled events, reused by At/Schedule
 	seq     uint64
 	rng     *rand.Rand
-	stopped bool
+	stopped atomic.Bool
 	// Processed counts events executed; useful for perf accounting in tests.
 	Processed uint64
 	// allocated counts Event structs ever heap-allocated (free-list misses).
-	allocated int64
+	// Atomic so soak harnesses can watch the high-water mark while running.
+	allocated atomic.Int64
 }
 
 // Allocated returns the number of Event structs this simulator has ever
 // heap-allocated — the free-list miss count. In steady state it stops
-// growing, which TestEventRecycling pins.
-func (s *Simulator) Allocated() int64 { return s.allocated }
+// growing, which TestEventRecycling pins. Safe to call from any goroutine.
+func (s *Simulator) Allocated() int64 { return s.allocated.Load() }
 
 // New creates a simulator whose RNG is seeded with seed (deterministic runs).
 func New(seed int64) *Simulator {
 	return &Simulator{rng: rand.New(rand.NewSource(seed))}
 }
 
-// Now returns the current simulated time.
-func (s *Simulator) Now() Time { return s.now }
+// Now returns the current simulated time. Safe to call from any goroutine;
+// observers on other goroutines see the time of the most recent event.
+func (s *Simulator) Now() Time { return Time(s.now.Load()) }
+
+// setNow advances the clock (simulation goroutine only).
+func (s *Simulator) setNow(t Time) { s.now.Store(int64(t)) }
 
 // Rand returns the simulation RNG. All stochastic behaviour (workload
 // arrivals, hash seeds) must draw from it so runs are reproducible.
@@ -112,7 +129,7 @@ func (s *Simulator) Schedule(d Duration, fn func()) *Event {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now+d, fn)
+	return s.At(s.Now()+d, fn)
 }
 
 // ScheduleFunc runs fn after delay d, fire-and-forget: no Event handle is
@@ -126,8 +143,8 @@ func (s *Simulator) ScheduleFunc(d Duration, fn func()) {
 // At runs fn at absolute time t. Scheduling in the past fires at the current
 // time (events never run retroactively).
 func (s *Simulator) At(t Time, fn func()) *Event {
-	if t < s.now {
-		t = s.now
+	if now := s.Now(); t < now {
+		t = now
 	}
 	s.seq++
 	var ev *Event
@@ -137,7 +154,7 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 		s.free = s.free[:n-1]
 	} else {
 		ev = &Event{}
-		s.allocated++
+		s.allocated.Add(1)
 	}
 	ev.when, ev.seq, ev.fn, ev.canceled = t, s.seq, fn, false
 	s.push(ev)
@@ -180,8 +197,9 @@ func (s *Simulator) Reschedule(ev *Event, d Duration) *Event {
 	return s.Schedule(d, fn)
 }
 
-// Stop makes Run return after the currently executing event completes.
-func (s *Simulator) Stop() { s.stopped = true }
+// Stop makes Run return after the currently executing event completes. Safe
+// to call from any goroutine (e.g. a daemon shutting its pacer loop down).
+func (s *Simulator) Stop() { s.stopped.Store(true) }
 
 // Pending returns the number of queued events.
 func (s *Simulator) Pending() int { return len(s.pq) }
@@ -193,37 +211,37 @@ func (s *Simulator) Pending() int { return len(s.pq) }
 // callers measuring rates over [0, until] divide by the right span. A Stop
 // leaves the clock at the stopping event.
 func (s *Simulator) Run(until Time) {
-	s.stopped = false
-	for len(s.pq) > 0 && !s.stopped {
+	s.stopped.Store(false)
+	for len(s.pq) > 0 && !s.stopped.Load() {
 		ev := s.pq[0]
 		if ev.when > until {
-			s.now = until
+			s.setNow(until)
 			return
 		}
 		s.popHead()
-		s.now = ev.when
+		s.setNow(ev.when)
 		fn := ev.fn
 		s.Processed++
 		s.recycle(ev)
 		fn()
 	}
-	if !s.stopped && s.now < until {
-		s.now = until
+	if !s.stopped.Load() && s.Now() < until {
+		s.setNow(until)
 	}
 }
 
 // RunFor is shorthand for Run(Now()+d).
-func (s *Simulator) RunFor(d Duration) { s.Run(s.now + d) }
+func (s *Simulator) RunFor(d Duration) { s.Run(s.Now() + d) }
 
 // RunAll drains the queue completely (or until Stop), leaving the clock at
 // the time of the last executed event. Unlike Run, it never advances the
 // clock past the final event.
 func (s *Simulator) RunAll() {
-	s.stopped = false
-	for len(s.pq) > 0 && !s.stopped {
+	s.stopped.Store(false)
+	for len(s.pq) > 0 && !s.stopped.Load() {
 		ev := s.pq[0]
 		s.popHead()
-		s.now = ev.when
+		s.setNow(ev.when)
 		fn := ev.fn
 		s.Processed++
 		s.recycle(ev)

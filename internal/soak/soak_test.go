@@ -1,0 +1,87 @@
+package soak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// dur shrinks soak lengths under -short while keeping enough runway for the
+// activity floors and the mid-run defect injection point (Duration/2).
+func dur(t *testing.T, full time.Duration) time.Duration {
+	if testing.Short() {
+		return full / 2
+	}
+	return full
+}
+
+// hasFailure reports whether any gate failure mentions substr.
+func hasFailure(r *Report, substr string) bool {
+	for _, f := range r.Failures {
+		if strings.Contains(f, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanSoakPasses(t *testing.T) {
+	r := Run(Config{Duration: dur(t, 4*time.Second), Log: t.Logf})
+	if r.Failed() {
+		t.Fatalf("clean soak failed:\n%s", r)
+	}
+	// The run must actually have soaked: live updates streamed, hostile ones
+	// streamed and rejected, restarts and fault flips landed, flows churned.
+	if r.Updates < 100 {
+		t.Errorf("only %d policy updates", r.Updates)
+	}
+	if r.HostileAttempts == 0 || r.Rejects < r.HostileAttempts {
+		t.Errorf("hostile attempts %d, rejects %d — the reject path was not exercised",
+			r.HostileAttempts, r.Rejects)
+	}
+	if r.Restarts == 0 {
+		t.Error("no restarts")
+	}
+	if r.FaultFlips == 0 {
+		t.Error("no fault flips")
+	}
+	if r.Arrivals == 0 || r.Departs == 0 {
+		t.Errorf("churn did not run: %d arrivals, %d departures", r.Arrivals, r.Departs)
+	}
+	if r.FlowsHighWater == 0 {
+		t.Error("no flows were ever tracked")
+	}
+	if r.VirtualEnd == 0 {
+		t.Error("virtual clock never advanced")
+	}
+}
+
+func TestSoakCatchesUndeadFlow(t *testing.T) {
+	r := Run(Config{Duration: dur(t, 2*time.Second), Inject: DefectUndeadFlow, Log: t.Logf})
+	if !hasFailure(r, "flow-table leak") {
+		t.Fatalf("undead flow not detected:\n%s", r)
+	}
+	if r.LeakedFlows == 0 {
+		t.Fatalf("leak reported without a leaked-flow count:\n%s", r)
+	}
+}
+
+func TestSoakCatchesCounterRegress(t *testing.T) {
+	r := Run(Config{Duration: dur(t, 2*time.Second), Inject: DefectCounterRegress, Log: t.Logf})
+	if !hasFailure(r, "counter drift") {
+		t.Fatalf("counter regression not detected:\n%s", r)
+	}
+	if !hasFailure(r, "egress_segments_total") {
+		t.Fatalf("drift report does not name the regressed counter:\n%s", r)
+	}
+}
+
+func TestSoakCatchesHostileBeta(t *testing.T) {
+	r := Run(Config{Duration: dur(t, 3*time.Second), Inject: DefectHostileBeta, Log: t.Logf})
+	if !hasFailure(r, "audit") {
+		t.Fatalf("unsanitized live policy not detected:\n%s", r)
+	}
+	if r.AuditViolations == 0 {
+		t.Fatalf("audit failure without a violation count:\n%s", r)
+	}
+}
