@@ -78,6 +78,60 @@ func TestAuditedDatapathZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSenderBatchDatapathZeroAlloc pins the batch entry points: a 32-packet
+// burst through EgressBatch + IngressBatch must be allocation-free once the
+// vSwitch batch scratch (meta/keys/flows/pair slices) has grown to burst
+// size. The per-packet pins above stay as the batch-of-1 fallback guard.
+func TestSenderBatchDatapathZeroAlloc(t *testing.T) {
+	ob := newOverheadBench(64)
+	f := 0
+	round := func() {
+		ob.SenderRoundBatch(f, 32)
+		f = (f + 32) % 64
+	}
+	for i := 0; i < 128; i++ {
+		round()
+	}
+	if n := testing.AllocsPerRun(200, round); n != 0 {
+		t.Errorf("sender batch datapath: %v allocs/op, want 0", n)
+	}
+}
+
+// TestReceiverBatchDatapathZeroAlloc is the receiver-side batch pin.
+func TestReceiverBatchDatapathZeroAlloc(t *testing.T) {
+	ob := newOverheadBench(64)
+	f := 0
+	round := func() {
+		ob.ReceiverRoundBatch(f, 32)
+		f = (f + 32) % 64
+	}
+	for i := 0; i < 128; i++ {
+		round()
+	}
+	if n := testing.AllocsPerRun(200, round); n != 0 {
+		t.Errorf("receiver batch datapath: %v allocs/op, want 0", n)
+	}
+}
+
+// TestAuditedBatchDatapathZeroAlloc: the audited batch path brackets every
+// burst element with CapturePre/PacketEvent exactly like the per-packet path,
+// and a clean audit must stay allocation-free there too.
+func TestAuditedBatchDatapathZeroAlloc(t *testing.T) {
+	ob := newOverheadBench(64)
+	audit.Attach(ob.V, audit.Config{Panic: true})
+	f := 0
+	round := func() {
+		ob.SenderRoundBatch(f, 32)
+		f = (f + 32) % 64
+	}
+	for i := 0; i < 128; i++ {
+		round()
+	}
+	if n := testing.AllocsPerRun(200, round); n != 0 {
+		t.Errorf("audited batch datapath: %v allocs/op, want 0", n)
+	}
+}
+
 // TestPoolCloneReleaseZeroAlloc pins the pool round trip itself.
 func TestPoolCloneReleaseZeroAlloc(t *testing.T) {
 	pool := packet.NewPool()
@@ -93,5 +147,44 @@ func TestPoolCloneReleaseZeroAlloc(t *testing.T) {
 	}
 	if pool.News > 1 {
 		t.Errorf("pool allocated %d fresh packets for a 1-deep working set", pool.News)
+	}
+}
+
+// TestStreamDatapathZeroAlloc pins the train-stream fixtures behind the batch
+// scaling curve (the headline perpacket-vs-batch comparison): both consumers
+// of the shared stream must be allocation-free in steady state.
+func TestStreamDatapathZeroAlloc(t *testing.T) {
+	obP := benchkit.NewOverheadBenchTrains(64, 8)
+	for i := 0; i < 64*8*2; i++ {
+		obP.SenderStreamRound() // visit every flow/train slot once
+	}
+	if n := testing.AllocsPerRun(200, obP.SenderStreamRound); n != 0 {
+		t.Errorf("sender stream per-packet: %v allocs/op, want 0", n)
+	}
+
+	obB := benchkit.NewOverheadBenchTrains(64, 8)
+	roundB := func() { obB.SenderStreamBatch(32) }
+	for i := 0; i < 64; i++ {
+		roundB()
+	}
+	if n := testing.AllocsPerRun(200, roundB); n != 0 {
+		t.Errorf("sender stream batch: %v allocs/op, want 0", n)
+	}
+
+	obR := benchkit.NewOverheadBenchTrains(64, 8)
+	for i := 0; i < 64*8*2; i++ {
+		obR.ReceiverStreamRound()
+	}
+	if n := testing.AllocsPerRun(200, obR.ReceiverStreamRound); n != 0 {
+		t.Errorf("receiver stream per-packet: %v allocs/op, want 0", n)
+	}
+
+	obRB := benchkit.NewOverheadBenchTrains(64, 8)
+	roundRB := func() { obRB.ReceiverStreamBatch(32) }
+	for i := 0; i < 64; i++ {
+		roundRB()
+	}
+	if n := testing.AllocsPerRun(200, roundRB); n != 0 {
+		t.Errorf("receiver stream batch: %v allocs/op, want 0", n)
 	}
 }

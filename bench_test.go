@@ -182,6 +182,85 @@ func BenchmarkFig12ReceiverOverhead(b *testing.B) {
 	}
 }
 
+// batchSizes is the batch-size scaling curve: batch=1 exercises the
+// per-packet fallback inside the batch entry points; 8/32/128 show how much
+// of the per-packet cost (lookups, shard locks, metric increments) the batch
+// path amortizes.
+var batchSizes = []int{1, 8, 32, 128}
+
+// batchTrain is the per-flow train length of the batch benchmark stream: a
+// burst handed to the datapath is consecutive segments of the same flow in
+// trains of 8 (the shape a ring drain of a sender's cwnd burst or a
+// GRO-coalesced receive produces), cycling through all 10k flows. The
+// perpacket subbenchmark consumes the identical stream one packet at a time,
+// so the two differ only in the processing API.
+const batchTrain = 8
+
+// BenchmarkFig11SenderBatch is the Figure 11 sender-side loop through
+// EgressBatch/IngressBatch at 10k flows, across the batch-size curve. Each
+// batch=k iteration processes 2·k packets (k data segments out, k
+// PACK-carrying ACKs in); divide ns/op by 2·k for ns/packet and compare
+// against the perpacket subbenchmark (2 packets per iteration).
+func BenchmarkFig11SenderBatch(b *testing.B) {
+	const n = 10000
+	ob := benchkit.NewOverheadBenchTrains(n, batchTrain)
+	b.Run(fmt.Sprintf("perpacket/flows=%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ob.SenderStreamRound()
+		}
+	})
+	for _, k := range batchSizes {
+		b.Run(fmt.Sprintf("batch=%d/flows=%d", k, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ob.SenderStreamBatch(k)
+			}
+		})
+	}
+}
+
+// BenchmarkFig12ReceiverBatch is the receiver-side counterpart.
+func BenchmarkFig12ReceiverBatch(b *testing.B) {
+	const n = 10000
+	ob := benchkit.NewOverheadBenchTrains(n, batchTrain)
+	b.Run(fmt.Sprintf("perpacket/flows=%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ob.ReceiverStreamRound()
+		}
+	})
+	for _, k := range batchSizes {
+		b.Run(fmt.Sprintf("batch=%d/flows=%d", k, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ob.ReceiverStreamBatch(k)
+			}
+		})
+	}
+}
+
+// BenchmarkTier100kBatch is the 100k-flow tier: sender-side rounds through a
+// table holding 200k entries (two directions per flow), per-packet vs
+// batch=32. The 1M tier lives in cmd/acdcbench (too slow to set up per `go
+// test` run); this one doubles as the CI batching-regression smoke.
+func BenchmarkTier100kBatch(b *testing.B) {
+	const n = 100_000
+	ob := benchkit.NewTierBench(n)
+	b.Run("perpacket", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ob.SenderRound(i % n)
+		}
+	})
+	b.Run("batch=32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ob.SenderRoundBatch((i*32)%n, 32)
+		}
+	})
+}
+
 // BenchmarkDatapathWithMetrics isolates the cost of the observability layer:
 // the Figure 11 sender-side loop with the metrics registry enabled (the
 // default) versus DisableMetrics (every instrument nil, updates compile to a

@@ -3,7 +3,9 @@
 // snapshot). Three groups:
 //
 //   - micro: the Figure 11/12 per-segment datapath loops and the
-//     metrics-enabled variant, via testing.Benchmark (ns/op, B/op, allocs/op)
+//     metrics-enabled variant, via testing.Benchmark (ns/op, B/op, allocs/op),
+//     plus the batch-size scaling curve (batch=1/8/32/128 at 10k flows,
+//     normalized to ns/packet) and the 100k/1M flow-scale tiers
 //   - eval: wall-clock for the full experiment registry, sequential and
 //     parallel (-workers), plus the speedup ratio
 //   - baseline: the same micro numbers measured before the zero-allocation
@@ -11,7 +13,7 @@
 //
 // Usage:
 //
-//	acdcbench [-o BENCH_results.json] [-workers 0] [-skip-eval]
+//	acdcbench [-o BENCH_results.json] [-workers 0] [-skip-eval] [-skip-tiers]
 package main
 
 import (
@@ -28,13 +30,18 @@ import (
 	"acdc/internal/experiments"
 )
 
-// MicroResult is one testing.Benchmark measurement.
+// MicroResult is one testing.Benchmark measurement. For loops that process
+// more than one packet per iteration (the batch and tier loops), PacketsPerOp
+// records the burst size and NsPerPacket the normalized cost, so batch and
+// per-packet rows compare directly.
 type MicroResult struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	Iterations  int     `json:"iterations"`
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	Iterations   int     `json:"iterations"`
+	PacketsPerOp int     `json:"packets_per_op,omitempty"`
+	NsPerPacket  float64 `json:"ns_per_packet,omitempty"`
 }
 
 // EvalResult is the full-registry wall-clock comparison.
@@ -68,23 +75,36 @@ var baseline = []MicroResult{
 }
 
 func micro(name string, loop func(b *testing.B)) MicroResult {
+	return microPkts(name, 0, loop)
+}
+
+// microPkts runs a loop whose every iteration processes pktsPerOp packets and
+// normalizes the result to ns/packet (pktsPerOp 0 leaves the batch fields
+// unset: the legacy rows are one round = two packets and predate them).
+func microPkts(name string, pktsPerOp int, loop func(b *testing.B)) MicroResult {
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		loop(b)
 	})
-	return MicroResult{
+	m := MicroResult{
 		Name:        name,
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 		Iterations:  r.N,
 	}
+	if pktsPerOp > 0 {
+		m.PacketsPerOp = pktsPerOp
+		m.NsPerPacket = m.NsPerOp / float64(pktsPerOp)
+	}
+	return m
 }
 
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output path (- for stdout)")
 	workers := flag.Int("workers", 0, "parallel eval workers (0 = one per CPU)")
 	skipEval := flag.Bool("skip-eval", false, "skip the full-registry wall-clock comparison")
+	skipTiers := flag.Bool("skip-tiers", false, "skip the 100k/1M flow-scale tiers")
 	flag.Parse()
 
 	rep := &Report{
@@ -121,6 +141,81 @@ func main() {
 				obM.SenderRound(i % 100)
 			}
 		}))
+
+	// Batch-size scaling curve at 10k flows over train-structured traffic
+	// (each flow delivers trains of 8 back-to-back segments, the shape a ring
+	// drain of a cwnd burst or a GRO-coalesced receive produces). The
+	// perpacket and batch=k rows consume the identical stream from the same
+	// fixture, so the comparison isolates the processing API; NsPerPacket
+	// makes all rows directly comparable.
+	{
+		const n = 10000
+		const train = 8
+		obS := benchkit.NewOverheadBenchTrains(n, train)
+		rep.Micro = append(rep.Micro, microPkts(
+			fmt.Sprintf("Fig11SenderBatch/perpacket/flows=%d", n), 2,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					obS.SenderStreamRound()
+				}
+			}))
+		for _, k := range []int{1, 8, 32, 128} {
+			k := k
+			rep.Micro = append(rep.Micro, microPkts(
+				fmt.Sprintf("Fig11SenderBatch/batch=%d/flows=%d", k, n), 2*k,
+				func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						obS.SenderStreamBatch(k)
+					}
+				}))
+		}
+		obR := benchkit.NewOverheadBenchTrains(n, train)
+		rep.Micro = append(rep.Micro, microPkts(
+			fmt.Sprintf("Fig12ReceiverBatch/perpacket/flows=%d", n), 2,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					obR.ReceiverStreamRound()
+				}
+			}))
+		for _, k := range []int{1, 8, 32, 128} {
+			k := k
+			rep.Micro = append(rep.Micro, microPkts(
+				fmt.Sprintf("Fig12ReceiverBatch/batch=%d/flows=%d", k, n), 2*k,
+				func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						obR.ReceiverStreamBatch(k)
+					}
+				}))
+		}
+	}
+
+	// Flow-scale tiers: the sender loop against a table holding 2·n entries
+	// (one per direction). 100k stresses shard fan-out; 1M proves the O(1)
+	// capacity accounting and the zero-alloc property hold far beyond the
+	// sizes the figure benchmarks use.
+	if !*skipTiers {
+		for _, n := range []int{100_000, 1_000_000} {
+			n := n
+			ob := benchkit.NewTierBench(n)
+			rep.Micro = append(rep.Micro, microPkts(
+				fmt.Sprintf("Tier/perpacket/flows=%d", n), 2,
+				func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						ob.SenderRound(i % n)
+					}
+				}))
+			rep.Micro = append(rep.Micro, microPkts(
+				fmt.Sprintf("Tier/batch=32/flows=%d", n), 64,
+				func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						ob.SenderRoundBatch((i*32)%n, 32)
+					}
+				}))
+		}
+	}
+
+	rep.Notes = append(rep.Notes,
+		"batch curve rows consume train-structured traffic (trains of 8 segments per flow); the perpacket and batch=k rows replay the identical stream and differ only in the processing API")
 
 	if !*skipEval {
 		cfg := experiments.RunConfig{Seed: 1}

@@ -1,0 +1,384 @@
+package core
+
+// Differential tests for the batch datapath: EgressBatch/IngressBatch must be
+// observably identical to running EgressPath/IngressPath over the same
+// packets in the same order — same output bytes, same drops, same final
+// metrics, same audit event stream — for every way of splitting the traffic
+// into bursts. The deterministic test sweeps a scripted traffic mix covering
+// every packet class; the fuzz target lets the fuzzer pick both the traffic
+// and the burst boundaries.
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"acdc/internal/netsim"
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+)
+
+// diffStep is one packet presented to one datapath direction.
+type diffStep struct {
+	egress bool
+	buf    []byte // wire bytes; each replay works on its own copy
+}
+
+// diffAuditor records every audit callback as a formatted line so two replays
+// can be compared event-for-event. All event structs are plain values.
+type diffAuditor struct {
+	log []string
+}
+
+func (a *diffAuditor) PacketEvent(v *VSwitch, dir AuditDir, pre PacketPre, out, extra *packet.Packet, outIsInput bool) {
+	var ob, eb []byte
+	if out != nil {
+		ob = out.Buf
+	}
+	if extra != nil {
+		eb = extra.Buf
+	}
+	a.log = append(a.log, fmt.Sprintf("pkt %v pre=%+v out=%x extra=%x in=%v", dir, pre, ob, eb, outIsInput))
+}
+func (a *diffAuditor) AckEvent(v *VSwitch, e AckEvent) {
+	a.log = append(a.log, fmt.Sprintf("ack %+v", e))
+}
+func (a *diffAuditor) CutEvent(v *VSwitch, e CutEvent) {
+	a.log = append(a.log, fmt.Sprintf("cut %+v", e))
+}
+func (a *diffAuditor) PoliceEvent(v *VSwitch, e PoliceEvent) {
+	a.log = append(a.log, fmt.Sprintf("pol %+v", e))
+}
+
+// diffRow is the observable outcome for one input packet.
+type diffRow struct {
+	out, extra []byte
+	dropped    bool
+}
+
+func rowOf(in *packet.Packet, out, extra *packet.Packet) diffRow {
+	r := diffRow{dropped: out == nil && extra == nil}
+	if out != nil {
+		r.out = append([]byte(nil), out.Buf...)
+	}
+	if extra != nil {
+		r.extra = append([]byte(nil), extra.Buf...)
+	}
+	return r
+}
+
+func diffVSwitch(t *testing.T) (*VSwitch, *diffAuditor) {
+	t.Helper()
+	s := sim.New(5)
+	host := netsim.NewHost(s, "h", packet.MakeAddr(10, 0, 0, 1))
+	host.NIC = netsim.NewLink(s, "nic", 10e9, sim.Microsecond,
+		netsim.HandlerFunc(func(*packet.Packet) {}))
+	cfg := DefaultConfig()
+	cfg.MTU = 1500
+	cfg.MaxFlows = 8 // small cap so fuzzed traffic reaches the pressure path
+	v := Attach(s, host, cfg)
+	aud := &diffAuditor{}
+	v.Audit = aud
+	return v, aud
+}
+
+// replaySequential drives the steps one packet at a time.
+func replaySequential(v *VSwitch, steps []diffStep) []diffRow {
+	rows := make([]diffRow, 0, len(steps))
+	for _, st := range steps {
+		p := &packet.Packet{Buf: append([]byte(nil), st.buf...)}
+		var out, extra *packet.Packet
+		if st.egress {
+			out, extra = v.EgressPath(p)
+		} else {
+			out, extra = v.IngressPath(p)
+		}
+		rows = append(rows, rowOf(p, out, extra))
+	}
+	return rows
+}
+
+// replayBatched drives the steps through the batch entry points: consecutive
+// same-direction packets form a run, each run is chopped into bursts of at
+// most split packets.
+func replayBatched(v *VSwitch, steps []diffStep, split int) []diffRow {
+	rows := make([]diffRow, 0, len(steps))
+	var ps []*packet.Packet
+	var pairs []*packet.Packet
+	flush := func(egress bool) {
+		for len(ps) > 0 {
+			n := len(ps)
+			if n > split {
+				n = split
+			}
+			burst := ps[:n]
+			if egress {
+				pairs = v.EgressBatch(burst, pairs[:0])
+			} else {
+				pairs = v.IngressBatch(burst, pairs[:0])
+			}
+			for i, p := range burst {
+				rows = append(rows, rowOf(p, pairs[2*i], pairs[2*i+1]))
+			}
+			ps = ps[n:]
+		}
+		ps = ps[:0]
+	}
+	for i := 0; i < len(steps); {
+		j := i
+		for j < len(steps) && steps[j].egress == steps[i].egress {
+			j++
+		}
+		ps = ps[:0]
+		for _, st := range steps[i:j] {
+			ps = append(ps, &packet.Packet{Buf: append([]byte(nil), st.buf...)})
+		}
+		flush(steps[i].egress)
+		i = j
+	}
+	return rows
+}
+
+// runDifferential replays steps sequentially and batched at the given split
+// and fails on any observable divergence.
+func runDifferential(t *testing.T, steps []diffStep, split int) {
+	t.Helper()
+	va, auda := diffVSwitch(t)
+	vb, audb := diffVSwitch(t)
+
+	rowsA := replaySequential(va, steps)
+	rowsB := replayBatched(vb, steps, split)
+
+	if len(rowsA) != len(rowsB) {
+		t.Fatalf("split=%d: %d sequential rows vs %d batched", split, len(rowsA), len(rowsB))
+	}
+	for i := range rowsA {
+		a, b := rowsA[i], rowsB[i]
+		if a.dropped != b.dropped || !bytes.Equal(a.out, b.out) || !bytes.Equal(a.extra, b.extra) {
+			t.Fatalf("split=%d: packet %d diverged\nseq:   drop=%v out=%x extra=%x\nbatch: drop=%v out=%x extra=%x",
+				split, i, a.dropped, a.out, a.extra, b.dropped, b.out, b.extra)
+		}
+	}
+	if sa, sb := va.Stats(), vb.Stats(); sa != sb {
+		t.Fatalf("split=%d: stats diverged\nseq:   %+v\nbatch: %+v", split, sa, sb)
+	}
+	if va.Table.Len() != vb.Table.Len() {
+		t.Fatalf("split=%d: table len %d vs %d", split, va.Table.Len(), vb.Table.Len())
+	}
+	if !reflect.DeepEqual(auda.log, audb.log) {
+		n := len(auda.log)
+		if len(audb.log) < n {
+			n = len(audb.log)
+		}
+		for i := 0; i < n; i++ {
+			if auda.log[i] != audb.log[i] {
+				t.Fatalf("split=%d: audit event %d diverged\nseq:   %s\nbatch: %s",
+					split, i, auda.log[i], audb.log[i])
+			}
+		}
+		t.Fatalf("split=%d: audit stream length %d vs %d", split, len(auda.log), len(audb.log))
+	}
+}
+
+// diffTraffic builds a scripted mix hitting every packet class the datapath
+// distinguishes: handshakes, data both ways, plain and PACK-carrying ACKs,
+// CE-marked arrivals, FINs, UDP, malformed options, truncated TCP, junk.
+func diffTraffic() []diffStep {
+	la := packet.MakeAddr(10, 0, 0, 1)
+	var steps []diffStep
+	add := func(egress bool, p *packet.Packet) {
+		steps = append(steps, diffStep{egress: egress, buf: append([]byte(nil), p.Buf...)})
+	}
+	pack := func(total, marked uint32) []byte {
+		var opt [packet.PACKOptionLen]byte
+		packet.EncodePACK(opt[:], packet.PACKInfo{TotalBytes: total, MarkedBytes: marked})
+		return opt[:]
+	}
+
+	for f := 0; f < 12; f++ {
+		ra := packet.MakeAddr(10, 0, 0, byte(2+f))
+		sp, dp := uint16(100+f), uint16(5001)
+		// Handshake.
+		add(true, packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+			SrcPort: sp, DstPort: dp, Seq: 0, Flags: packet.FlagSYN, Window: 65535,
+			Options: packet.BuildSynOptions(1460, 7, true)}, 0))
+		add(false, packet.Build(ra, la, packet.NotECT, packet.TCPFields{
+			SrcPort: dp, DstPort: sp, Seq: 0, Ack: 1,
+			Flags: packet.FlagSYN | packet.FlagACK, Window: 65535,
+			Options: packet.BuildSynOptions(1460, 7, true)}, 0))
+		// Data out, feedback back (growing PACK totals, some marked).
+		seq := uint32(1)
+		for r := 0; r < 4; r++ {
+			add(true, packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+				SrcPort: sp, DstPort: dp, Seq: seq, Ack: 1,
+				Flags: packet.FlagACK | packet.FlagPSH, Window: 65535}, 1000))
+			seq += 1000
+			marked := uint32(0)
+			if r%2 == 1 {
+				marked = 500 * uint32(r)
+			}
+			ack := packet.Build(ra, la, packet.NotECT, packet.TCPFields{
+				SrcPort: dp, DstPort: sp, Seq: 1, Ack: seq,
+				Flags: packet.FlagACK, Window: 65535}, 0)
+			ack.Buf = packet.InsertTCPOption(ack.Buf, pack(1000*uint32(r+1), marked))
+			add(false, ack)
+		}
+		// Receiver side: data arriving (every third CE-marked), ACK leaving
+		// (PACK attach in place).
+		ecn := packet.ECT0
+		if f%3 == 0 {
+			ecn = packet.CE
+		}
+		add(false, packet.Build(ra, la, ecn, packet.TCPFields{
+			SrcPort: dp, DstPort: sp, Seq: 1, Ack: seq,
+			Flags: packet.FlagACK | packet.FlagPSH, Window: 65535}, 1200))
+		add(true, packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+			SrcPort: sp, DstPort: dp, Seq: seq, Ack: 1201,
+			Flags: packet.FlagACK, Window: 65535}, 0))
+		// Half the flows close.
+		if f%2 == 0 {
+			add(true, packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+				SrcPort: sp, DstPort: dp, Seq: seq, Ack: 1201,
+				Flags: packet.FlagACK | packet.FlagFIN, Window: 65535}, 0))
+			add(false, packet.Build(ra, la, packet.NotECT, packet.TCPFields{
+				SrcPort: dp, DstPort: sp, Seq: 1201, Ack: seq + 1,
+				Flags: packet.FlagACK | packet.FlagFIN, Window: 65535}, 0))
+		}
+	}
+
+	// Fail-open classes, interleaved in both directions.
+	ra := packet.MakeAddr(10, 0, 0, 99)
+	udp := packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+		SrcPort: 7, DstPort: 7, Seq: 1, Flags: packet.FlagACK, Window: 100}, 64)
+	udp.Buf[9] = 17
+	packet.IPv4(udp.Buf).ComputeChecksum()
+	add(true, udp)
+	add(false, udp)
+	bad := packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+		SrcPort: 8, DstPort: 8, Seq: 1, Flags: packet.FlagACK, Window: 100,
+		Options: []byte{packet.OptMSS, 40, 0, 0}}, 64)
+	add(true, bad)
+	add(false, bad)
+	add(true, &packet.Packet{Buf: []byte{1, 2, 3}})
+	add(false, &packet.Packet{Buf: []byte{0x45, 0}})
+	return steps
+}
+
+// TestBatchDifferential sweeps the scripted traffic over a range of burst
+// splits, including degenerate (1), odd, and whole-run sizes.
+func TestBatchDifferential(t *testing.T) {
+	steps := diffTraffic()
+	for _, split := range []int{1, 2, 3, 5, 8, 32, len(steps)} {
+		split := split
+		t.Run(fmt.Sprintf("split=%d", split), func(t *testing.T) {
+			runDifferential(t, steps, split)
+		})
+	}
+}
+
+// FuzzBatchDifferential lets the fuzzer choose traffic and burst boundaries.
+// Each input byte encodes one step (packet kind, flow, direction); the split
+// byte picks the burst size. Equivalence must hold for every input.
+func FuzzBatchDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, byte(3))
+	f.Add([]byte{2, 2, 2, 4, 4, 4, 2, 4, 2, 4}, byte(2))
+	f.Add([]byte{0, 12, 24, 36, 48, 60, 72, 84, 96}, byte(4)) // distinct flows: pressure eviction
+	f.Add([]byte{}, byte(1))
+	f.Fuzz(func(t *testing.T, script []byte, splitB byte) {
+		if len(script) > 96 {
+			script = script[:96]
+		}
+		split := int(splitB)%16 + 1
+		steps := fuzzTraffic(script)
+		if len(steps) == 0 {
+			return
+		}
+		runDifferential(t, steps, split)
+	})
+}
+
+// fuzzTraffic decodes a fuzz script into steps: 12 packet kinds across a
+// handful of flows, per-flow sequence cursors so later packets build on
+// earlier state.
+func fuzzTraffic(script []byte) []diffStep {
+	la := packet.MakeAddr(10, 0, 0, 1)
+	type cursor struct{ seq, acked uint32 }
+	cur := map[int]*cursor{}
+	var steps []diffStep
+	add := func(egress bool, p *packet.Packet) {
+		steps = append(steps, diffStep{egress: egress, buf: append([]byte(nil), p.Buf...)})
+	}
+	for _, b := range script {
+		kind := int(b) % 12
+		flow := (int(b) / 12) % 12 // 12 flows vs MaxFlows=8: guaranteed pressure
+		ra := packet.MakeAddr(10, 0, 0, byte(2+flow))
+		sp, dp := uint16(1000+flow), uint16(5001)
+		c := cur[flow]
+		if c == nil {
+			c = &cursor{seq: 1}
+			cur[flow] = c
+		}
+		switch kind {
+		case 0: // SYN out
+			add(true, packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+				SrcPort: sp, DstPort: dp, Seq: 0, Flags: packet.FlagSYN, Window: 65535,
+				Options: packet.BuildSynOptions(1460, 7, true)}, 0))
+		case 1: // SYN-ACK in
+			add(false, packet.Build(ra, la, packet.NotECT, packet.TCPFields{
+				SrcPort: dp, DstPort: sp, Seq: 0, Ack: 1,
+				Flags: packet.FlagSYN | packet.FlagACK, Window: 65535,
+				Options: packet.BuildSynOptions(1460, 7, true)}, 0))
+		case 2: // data out
+			add(true, packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+				SrcPort: sp, DstPort: dp, Seq: c.seq, Ack: 1,
+				Flags: packet.FlagACK | packet.FlagPSH, Window: 65535}, 1000))
+			c.seq += 1000
+		case 3: // plain ACK in
+			add(false, packet.Build(ra, la, packet.NotECT, packet.TCPFields{
+				SrcPort: dp, DstPort: sp, Seq: 1, Ack: c.seq,
+				Flags: packet.FlagACK, Window: 65535}, 0))
+		case 4: // PACK ACK in
+			c.acked += 1000
+			ack := packet.Build(ra, la, packet.NotECT, packet.TCPFields{
+				SrcPort: dp, DstPort: sp, Seq: 1, Ack: c.seq,
+				Flags: packet.FlagACK, Window: 65535}, 0)
+			var opt [packet.PACKOptionLen]byte
+			packet.EncodePACK(opt[:], packet.PACKInfo{TotalBytes: c.acked, MarkedBytes: c.acked / 4})
+			ack.Buf = packet.InsertTCPOption(ack.Buf, opt[:])
+			add(false, ack)
+		case 5: // data in, ECT
+			add(false, packet.Build(ra, la, packet.ECT0, packet.TCPFields{
+				SrcPort: dp, DstPort: sp, Seq: 1, Ack: c.seq,
+				Flags: packet.FlagACK | packet.FlagPSH, Window: 65535}, 1200))
+		case 6: // data in, CE-marked
+			add(false, packet.Build(ra, la, packet.CE, packet.TCPFields{
+				SrcPort: dp, DstPort: sp, Seq: 1, Ack: c.seq,
+				Flags: packet.FlagACK | packet.FlagPSH, Window: 65535}, 1200))
+		case 7: // bare ACK out (receiver module, PACK attach)
+			add(true, packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+				SrcPort: sp, DstPort: dp, Seq: c.seq, Ack: 1201,
+				Flags: packet.FlagACK, Window: 65535}, 0))
+		case 8: // FIN out
+			add(true, packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+				SrcPort: sp, DstPort: dp, Seq: c.seq, Ack: 1,
+				Flags: packet.FlagACK | packet.FlagFIN, Window: 65535}, 0))
+		case 9: // FIN in
+			add(false, packet.Build(ra, la, packet.NotECT, packet.TCPFields{
+				SrcPort: dp, DstPort: sp, Seq: 1201, Ack: c.seq,
+				Flags: packet.FlagACK | packet.FlagFIN, Window: 65535}, 0))
+		case 10: // UDP out
+			u := packet.Build(la, ra, packet.NotECT, packet.TCPFields{
+				SrcPort: sp, DstPort: dp, Seq: 1, Flags: packet.FlagACK, Window: 100}, 64)
+			u.Buf[9] = 17
+			packet.IPv4(u.Buf).ComputeChecksum()
+			add(true, u)
+		case 11: // malformed options in
+			add(false, packet.Build(ra, la, packet.NotECT, packet.TCPFields{
+				SrcPort: dp, DstPort: sp, Seq: 1, Ack: c.seq,
+				Flags: packet.FlagACK, Window: 65535,
+				Options: []byte{packet.OptMSS, 40, 0, 0}}, 64))
+		}
+	}
+	return steps
+}

@@ -128,6 +128,20 @@ type VSwitch struct {
 	lastSweep  sim.Time
 	sweepTick  int
 	sweepTimer *sim.Timer // armed only when Cfg.SweepInterval > 0
+	sweepGroup int        // next shard-group for the sharded timer GC
+
+	// evictCursor round-robins pressure eviction across shards so a table at
+	// MaxFlows never pays a full-table sweep per packet; evictRetryAt is the
+	// cooldown set after a barren full cycle (nothing evictable), during
+	// which flowFor fails open immediately instead of re-scanning.
+	evictCursor  int
+	evictRetryAt sim.Time
+
+	// batch is the reusable scratch for EgressBatch/IngressBatch (batch.go);
+	// inBatch guards it against re-entrant batch calls, which fall back to
+	// the per-packet path. Both are touched only on the datapath goroutine.
+	batch   batchScratch
+	inBatch bool
 
 	// attached gates the datapath hooks. Attach installs stable wrapper
 	// funcs on the host exactly once and never swaps them again; Detach and
@@ -184,6 +198,8 @@ func Attach(s *sim.Simulator, host *netsim.Host, cfg Config) *VSwitch {
 	v.attached.Store(true)
 	host.Egress = v.egressHook
 	host.Ingress = v.ingressHook
+	host.EgressBatch = v.egressBatchHook
+	host.IngressBatch = v.ingressBatchHook
 	return v
 }
 
@@ -291,9 +307,21 @@ func (v *VSwitch) flowForRestore(k FlowKey) *Flow {
 // evictForPressure frees table space at capacity: closed flows go
 // immediately, idle ones after GCInterval (a much tighter deadline than the
 // ordinary IdleTimeout — under pressure, idleness is eviction).
+//
+// Eviction is incremental: shards are scanned round-robin from a cursor and
+// the scan stops at the first shard that frees anything, so a create under
+// pressure pays at most one full table pass — and only when nothing anywhere
+// is evictable. That barren case arms a cooldown (GCInterval/4) during which
+// further creates fail open immediately instead of re-scanning a table of
+// provably live flows on every arriving packet.
 func (v *VSwitch) evictForPressure() {
 	now := v.Sim.Now()
-	removed := v.Table.Sweep(func(f *Flow) bool {
+	if v.evictRetryAt != 0 && now < v.evictRetryAt {
+		return
+	}
+	v.evictRetryAt = 0
+	v.Metrics.PressureSweeps.Inc()
+	keep := func(f *Flow) bool {
 		f.mu.Lock()
 		defer f.mu.Unlock()
 		if f.finFwd && f.finRev {
@@ -305,12 +333,27 @@ func (v *VSwitch) evictForPressure() {
 			return false
 		}
 		return true
-	})
+	}
+	removed := 0
+	for scanned := 0; scanned < numShards; scanned++ {
+		idx := v.evictCursor
+		v.evictCursor = (v.evictCursor + 1) % numShards
+		removed += v.Table.SweepShard(idx, keep)
+		if removed > 0 {
+			break
+		}
+	}
 	if removed > 0 {
 		v.Metrics.FlowsEvicted.Add(int64(removed))
 		v.Metrics.FlowsRemoved.Add(int64(removed))
 		v.Metrics.FlowTableSize.Add(-int64(removed))
+		return
 	}
+	cooldown := v.Cfg.GCInterval / 4
+	if cooldown <= 0 {
+		cooldown = 1
+	}
+	v.evictRetryAt = now + cooldown
 }
 
 // newFlow creates a tracked flow from the datapath (simulation goroutine):
@@ -374,10 +417,25 @@ func (v *VSwitch) minRwnd(f *Flow) int64 {
 // maybeSweep runs the coarse-grained GC from the datapath (no timers, so
 // drained simulations terminate). It also consumes deferred sweep-timer arm
 // requests left by goroutines that cannot touch the simulator themselves.
+// The batch path calls the two halves itself: consumeSweepArm once per burst
+// (the flag is asynchronous anyway) and tickSweep once per packet, so the GC
+// cadence matches the sequential path exactly.
 func (v *VSwitch) maybeSweep() {
+	v.consumeSweepArm()
+	v.tickSweep()
+}
+
+// consumeSweepArm services deferred sweep-timer arm requests (snapshot
+// restore on a control-plane goroutine cannot touch the simulator itself).
+func (v *VSwitch) consumeSweepArm() {
 	if v.sweepTimer != nil && v.sweepArm.Load() && v.sweepArm.CompareAndSwap(true, false) {
 		v.sweepTimer.ArmIfIdle(v.Cfg.SweepInterval)
 	}
+}
+
+// tickSweep advances the per-packet GC clock and runs the lazy sweep every
+// 4096 packets once GCInterval has elapsed.
+func (v *VSwitch) tickSweep() {
 	v.sweepTick++
 	if v.sweepTick&0xfff != 0 {
 		return
@@ -390,10 +448,11 @@ func (v *VSwitch) maybeSweep() {
 	v.sweepNow(now)
 }
 
-// sweepNow removes closed and idle flows; shared by the lazy packet-driven
-// sweep and the SweepInterval timer.
-func (v *VSwitch) sweepNow(now sim.Time) {
-	removed := v.Table.Sweep(func(f *Flow) bool {
+// gcKeep is the GC retention predicate shared by the lazy full-table sweep
+// and the sharded timer sweep: closed flows go after GCInterval, idle ones
+// after IdleTimeout.
+func (v *VSwitch) gcKeep(now sim.Time) func(*Flow) bool {
+	return func(f *Flow) bool {
 		f.mu.Lock()
 		defer f.mu.Unlock()
 		if f.finFwd && f.finRev && now-f.lastActive > v.Cfg.GCInterval {
@@ -405,20 +464,41 @@ func (v *VSwitch) sweepNow(now sim.Time) {
 			return false
 		}
 		return true
-	})
+	}
+}
+
+// sweepNow removes closed and idle flows across the whole table (the lazy
+// packet-driven sweep, already rate-limited to once per GCInterval).
+func (v *VSwitch) sweepNow(now sim.Time) {
+	removed := v.Table.Sweep(v.gcKeep(now))
 	v.Metrics.FlowsRemoved.Add(int64(removed))
 	v.Metrics.FlowTableSize.Add(-int64(removed))
 }
 
-// onSweepTick is the SweepInterval timer body: sweep, then stay armed only
-// while there are flows left to watch (an empty table lets the event queue
-// drain and the simulation end).
+// sweepGroups divides the timer GC: each tick sweeps numShards/sweepGroups
+// shards and the timer fires sweepGroups times per SweepInterval, so the
+// whole table is still covered once per interval but no single timer
+// callback ever write-locks all 64 shards at once.
+const sweepGroups = 8
+
+// onSweepTick is the SweepInterval timer body: sweep the next shard-group,
+// then stay armed only while there are flows left to watch (an empty table
+// lets the event queue drain and the simulation end).
 func (v *VSwitch) onSweepTick() {
 	now := v.Sim.Now()
 	v.lastSweep = now
-	v.sweepNow(now)
+	g := v.sweepGroup
+	v.sweepGroup = (v.sweepGroup + 1) % sweepGroups
+	const per = numShards / sweepGroups
+	removed := v.Table.SweepRange(g*per, (g+1)*per, v.gcKeep(now))
+	v.Metrics.FlowsRemoved.Add(int64(removed))
+	v.Metrics.FlowTableSize.Add(-int64(removed))
 	if v.Table.Len() > 0 {
-		v.sweepTimer.Reset(v.Cfg.SweepInterval)
+		tick := v.Cfg.SweepInterval / sweepGroups
+		if tick <= 0 {
+			tick = v.Cfg.SweepInterval
+		}
+		v.sweepTimer.Reset(tick)
 	}
 }
 

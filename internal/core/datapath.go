@@ -34,6 +34,66 @@ func pairToSlice(out, extra *packet.Packet) []*packet.Packet {
 	}
 }
 
+// pktClass is the fast-path disposition decided by one header parse.
+type pktClass uint8
+
+const (
+	classBadIP   pktClass = iota // invalid IPv4: fail open
+	classUDP                     // UDP with the tunnel enabled
+	classPass                    // non-TCP passthrough
+	classBadTCP                  // invalid TCP header: fail open
+	classBadOpts                 // damaged option block: fail open
+	classTCP                     // full TCP processing
+)
+
+// pktMeta is the per-packet parse result shared by the per-packet and batch
+// entry points: headers are validated and the flow key extracted exactly
+// once, then egressRun/ingressRun branch on the class without re-parsing.
+type pktMeta struct {
+	class         pktClass
+	syn, ack, fin bool
+	plen          int64
+	iplen         int64
+	key           FlowKey
+}
+
+// classify parses p once into m. It is side-effect free: the class-specific
+// metric increments stay in egressRun/ingressRun so the per-packet and batch
+// paths account identically.
+func classify(p *packet.Packet, udpTunnel bool, m *pktMeta) {
+	ip := p.IP()
+	if !ip.Valid() {
+		m.class = classBadIP
+		return
+	}
+	m.iplen = int64(p.IPLen())
+	proto := ip.Protocol()
+	if proto != packet.ProtoTCP {
+		if proto == packet.ProtoUDP && udpTunnel {
+			m.class = classUDP
+		} else {
+			m.class = classPass
+		}
+		return
+	}
+	t := ip.TCP()
+	if !t.Valid() {
+		m.class = classBadTCP
+		return
+	}
+	if !packet.OptionsWellFormed(t.Options()) {
+		m.class = classBadOpts
+		return
+	}
+	m.class = classTCP
+	m.key = FlowKey{Src: ip.Src(), Dst: ip.Dst(), SPort: t.SrcPort(), DPort: t.DstPort()}
+	fl := t.Flags()
+	m.syn = fl&packet.FlagSYN != 0
+	m.ack = fl&packet.FlagACK != 0
+	m.fin = fl&packet.FlagFIN != 0
+	m.plen = int64(p.PayloadLen())
+}
+
 // EgressPath is the vSwitch hook for packets leaving the guest stack (§4's
 // ovs_dp_process_packet on the transmit side). With an auditor attached it
 // brackets the traversal with a pre-capture and a PacketEvent; a nil auditor
@@ -51,54 +111,70 @@ func (v *VSwitch) EgressPath(p *packet.Packet) (*packet.Packet, *packet.Packet) 
 func (v *VSwitch) egressPath(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 	v.Metrics.EgressSegs.Inc()
 	v.maybeSweep()
-	ip := p.IP()
-	if !ip.Valid() {
+	var m pktMeta
+	classify(p, v.Cfg.UDPTunnel, &m)
+	return v.egressRun(p, &m, nil, nil, 0, nil)
+}
+
+// egressRun is the egress datapath body shared by the per-packet wrapper and
+// EgressBatch. hfwd/hrev are batch-prefetched flow pointers for m.key and its
+// reverse; a non-nil hint is used only while the table generation still
+// equals gen (no deletion since the prefetch — eviction and GC both bump it),
+// and a nil hint always falls back to a live lookup (the flow may have been
+// created by an earlier packet of the same burst). With nil hints this is
+// byte-for-byte the sequential path.
+func (v *VSwitch) egressRun(p *packet.Packet, m *pktMeta, hfwd, hrev *Flow, gen uint64, bd *batchDeltas) (*packet.Packet, *packet.Packet) {
+	// Byte accounting for every class but bad-IP; in a batch (bd non-nil) the
+	// whole burst's bytes were already summed into one Add by classifyBatch.
+	if bd == nil && m.class != classBadIP {
+		v.Metrics.EgressBytes.Add(m.iplen)
+	}
+	switch m.class {
+	case classBadIP:
 		v.Metrics.FailOpen.Inc()
 		return p, nil
-	}
-	v.Metrics.EgressBytes.Add(int64(p.IPLen()))
-	if ip.Protocol() == packet.ProtoUDP && v.Cfg.UDPTunnel {
+	case classUDP:
 		return v.udpEgress(p)
-	}
-	if ip.Protocol() != packet.ProtoTCP {
+	case classPass:
 		return p, nil
-	}
-	t := ip.TCP()
-	if !t.Valid() {
+	case classBadTCP:
 		v.Metrics.FailOpen.Inc()
 		return p, nil
-	}
-	if !packet.OptionsWellFormed(t.Options()) {
+	case classBadOpts:
 		// Damaged option block: acting on a partial parse could corrupt flow
 		// state, so the segment passes through untouched.
 		v.Metrics.MalformedOptions.Inc()
 		v.Metrics.FailOpen.Inc()
 		return p, nil
 	}
-
-	fwdKey := FlowKey{Src: ip.Src(), Dst: ip.Dst(), SPort: t.SrcPort(), DPort: t.DstPort()}
+	t := p.IP().TCP()
 	out := p
-
-	syn := t.HasFlags(packet.FlagSYN)
-	plen := int64(p.PayloadLen())
 
 	// --- sender module: track our data direction ---
 	var fwd *Flow
-	if syn || plen > 0 || t.HasFlags(packet.FlagFIN) {
-		fwd = v.flowFor(fwdKey)
+	if hfwd != nil && !v.Table.genChanged(gen) {
+		fwd = hfwd
+	} else if m.syn || m.plen > 0 || m.fin {
+		fwd = v.flowFor(m.key)
 	} else {
-		fwd = v.Table.Get(fwdKey)
+		fwd = v.Table.Get(m.key)
 	}
 	if fwd != nil {
-		if dropped := v.senderEgress(fwd, p, t, syn, plen); dropped {
+		if dropped := v.senderEgress(fwd, p, t, m.syn, m.plen); dropped {
 			return nil, nil
 		}
 	}
 
 	// --- receiver module: piggyback feedback on ACKs of the reverse flow ---
 	var extra *packet.Packet
-	if t.HasFlags(packet.FlagACK) && !syn {
-		if rev := v.Table.Get(fwdKey.Reverse()); rev != nil {
+	if m.ack && !m.syn {
+		var rev *Flow
+		if hrev != nil && !v.Table.genChanged(gen) {
+			rev = hrev
+		} else {
+			rev = v.Table.Get(m.key.Reverse())
+		}
+		if rev != nil {
 			out, extra = v.attachFeedback(rev, out)
 		}
 	}
@@ -108,14 +184,22 @@ func (v *VSwitch) egressPath(p *packet.Packet) (*packet.Packet, *packet.Packet) 
 		oip := out.IP()
 		if oip.ECN() == packet.NotECT {
 			oip.SetECN(packet.ECT0)
-			v.Metrics.ECTMarks.Inc()
+			if bd != nil {
+				bd.ectMarks++
+			} else {
+				v.Metrics.ECTMarks.Inc()
+			}
 		}
 	}
 	if extra != nil && v.Cfg.MarkECT {
 		eip := extra.IP()
 		if eip.ECN() == packet.NotECT {
 			eip.SetECN(packet.ECT0)
-			v.Metrics.ECTMarks.Inc()
+			if bd != nil {
+				bd.ectMarks++
+			} else {
+				v.Metrics.ECTMarks.Inc()
+			}
 		}
 	}
 	return out, extra
@@ -281,46 +365,55 @@ func (v *VSwitch) IngressPath(p *packet.Packet) (*packet.Packet, *packet.Packet)
 func (v *VSwitch) ingressPath(p *packet.Packet) (*packet.Packet, *packet.Packet) {
 	v.Metrics.IngressSegs.Inc()
 	v.maybeSweep()
-	ip := p.IP()
-	if !ip.Valid() {
+	var m pktMeta
+	classify(p, v.Cfg.UDPTunnel, &m)
+	return v.ingressRun(p, &m, nil, nil, 0, nil)
+}
+
+// ingressRun is the ingress datapath body shared by the per-packet wrapper
+// and IngressBatch; the hint contract matches egressRun (hfwd for m.key, the
+// peer's data direction; hrev for the reverse, ours).
+func (v *VSwitch) ingressRun(p *packet.Packet, m *pktMeta, hfwd, hrev *Flow, gen uint64, bd *batchDeltas) (*packet.Packet, *packet.Packet) {
+	// Byte accounting mirrors egressRun: folded into classifyBatch's one Add
+	// when processing a burst.
+	if bd == nil && m.class != classBadIP {
+		v.Metrics.IngressBytes.Add(m.iplen)
+	}
+	switch m.class {
+	case classBadIP:
 		v.Metrics.FailOpen.Inc()
 		return p, nil
-	}
-	v.Metrics.IngressBytes.Add(int64(p.IPLen()))
-	if ip.Protocol() == packet.ProtoUDP && v.Cfg.UDPTunnel {
+	case classUDP:
 		return v.udpIngress(p)
-	}
-	if ip.Protocol() != packet.ProtoTCP {
+	case classPass:
 		return p, nil
-	}
-	t := ip.TCP()
-	if !t.Valid() {
+	case classBadTCP:
 		v.Metrics.FailOpen.Inc()
 		return p, nil
-	}
-	if !packet.OptionsWellFormed(t.Options()) {
+	case classBadOpts:
 		v.Metrics.MalformedOptions.Inc()
 		v.Metrics.FailOpen.Inc()
 		return p, nil
 	}
+	t := p.IP().TCP()
 
-	// fwdKey: peer's data direction (we are receiver). revKey: ours.
-	fwdKey := FlowKey{Src: ip.Src(), Dst: ip.Dst(), SPort: t.SrcPort(), DPort: t.DstPort()}
-	revKey := fwdKey.Reverse()
+	// fwdKey (m.key): peer's data direction (we are receiver). revKey: ours.
+	revKey := m.key.Reverse()
 
-	syn := t.HasFlags(packet.FlagSYN)
-	plen := int64(p.PayloadLen())
-
-	if syn {
-		v.ingressHandshake(p, t, fwdKey, revKey)
+	if m.syn {
+		v.ingressHandshake(p, t, m.key, revKey)
 	}
 
 	// --- sender module: ACKs for our data direction ---
-	if t.HasFlags(packet.FlagACK) && !syn {
+	if m.ack && !m.syn {
 		if fb := packet.FindOption(t.Options(), OptFACK); fb != nil && len(fb) >= 8 {
 			// Dedicated FACK: consume feedback, drop the packet.
 			info := packet.PACKInfo{TotalBytes: getU32(fb[0:4]), MarkedBytes: getU32(fb[4:8])}
-			if f := v.Table.Get(revKey); f != nil {
+			f := hrev
+			if f == nil || v.Table.genChanged(gen) {
+				f = v.Table.Get(revKey)
+			}
+			if f != nil {
 				if f.isUDP {
 					v.processUDPFeedback(f, info)
 				} else {
@@ -331,14 +424,22 @@ func (v *VSwitch) ingressPath(p *packet.Packet) (*packet.Packet, *packet.Packet)
 			// Consumed: the caller (Host.HandlePacket) recycles the packet.
 			return nil, nil
 		}
-		if f := v.Table.Get(revKey); f != nil {
+		f := hrev
+		if f == nil || v.Table.genChanged(gen) {
+			f = v.Table.Get(revKey)
+		}
+		if f != nil {
 			var info packet.PACKInfo
 			havePack := false
 			if d := packet.FindOption(t.Options(), packet.OptPACK); d != nil {
 				if pi, ok := packet.ParsePACK(d); ok {
 					info = pi
 					havePack = true
-					v.Metrics.PacksConsumed.Inc()
+					if bd != nil {
+						bd.packs++
+					} else {
+						v.Metrics.PacksConsumed.Inc()
+					}
 				}
 			}
 			v.processFeedbackAndAck(f, p, t, info, havePack)
@@ -354,17 +455,24 @@ func (v *VSwitch) ingressPath(p *packet.Packet) (*packet.Packet, *packet.Packet)
 	}
 
 	// --- receiver module: count and strip for the peer's data direction ---
-	if plen > 0 || t.HasFlags(packet.FlagFIN) || syn {
-		f := v.Table.Get(fwdKey)
-		if f == nil && (plen > 0 || t.HasFlags(packet.FlagFIN)) {
-			f = v.flowFor(fwdKey)
+	if m.plen > 0 || m.fin || m.syn {
+		f := hfwd
+		if f == nil || v.Table.genChanged(gen) {
+			f = v.Table.Get(m.key)
+		}
+		if f == nil && (m.plen > 0 || m.fin) {
+			f = v.flowFor(m.key)
 		}
 		if f != nil {
-			v.receiverIngress(f, p, t, plen)
+			v.receiverIngress(f, p, t, m.plen)
 		}
 	} else if v.Cfg.StripECN {
 		// Pure ACKs: remove the ECT we (or the peer's AC/DC) set.
-		v.stripECN(p, v.Table.Get(fwdKey))
+		f := hfwd
+		if f == nil || v.Table.genChanged(gen) {
+			f = v.Table.Get(m.key)
+		}
+		v.stripECN(p, f)
 	}
 
 	return p, nil

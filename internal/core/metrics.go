@@ -68,6 +68,7 @@ type DatapathMetrics struct {
 	MalformedOptions *metrics.LazyCounter // malformed_options_total: TCP option blocks that failed validation
 	FlowTableFull    *metrics.LazyCounter // flow_table_full_total: flow creations refused at MaxFlows
 	FlowsEvicted     *metrics.LazyCounter // flows_evicted_total: flows removed by capacity-pressure eviction
+	PressureSweeps   *metrics.LazyCounter // pressure_sweeps_total: eviction scans started at MaxFlows (rate-limited; see evictForPressure)
 	FeedbackTimeouts *metrics.LazyCounter // feedback_timeouts_total: ACKs processed while PACK/FACK feedback was stale
 
 	// Warm restart and mid-flow resynchronization (snapshot.go, resync.go).
@@ -90,6 +91,13 @@ type DatapathMetrics struct {
 	mu         sync.Mutex
 	cwndHists  map[string]*metrics.Histogram
 	alphaHists map[string]*metrics.Histogram
+
+	// Flow-table shape gauges, registered lazily on the first
+	// UpdateTableGauges call (daemon /status and /metrics handlers) so runs
+	// that never poll them keep telemetry byte-identical to older builds.
+	tableOcc *metrics.Gauge // flow_table_occupancy: total tracked flows (== Table.Len)
+	shardMax *metrics.Gauge // flow_table_shard_max: longest shard
+	shardImb *metrics.Gauge // flow_table_shard_imbalance_permille: 1000 * max/mean shard length
 }
 
 // cwndBounds covers sub-MSS floors up to the largest window the RWND field
@@ -129,6 +137,7 @@ func NewDatapathMetrics(reg *metrics.Registry) *DatapathMetrics {
 		MalformedOptions: reg.Lazy("malformed_options_total"),
 		FlowTableFull:    reg.Lazy("flow_table_full_total"),
 		FlowsEvicted:     reg.Lazy("flows_evicted_total"),
+		PressureSweeps:   reg.Lazy("pressure_sweeps_total"),
 		FeedbackTimeouts: reg.Lazy("feedback_timeouts_total"),
 
 		Restarts:              reg.Lazy("vswitch_restarts_total"),
@@ -172,6 +181,49 @@ func (m *DatapathMetrics) flowHists(alg string) (cwnd, alpha *metrics.Histogram)
 	return cwnd, alpha
 }
 
+// tableGauges lazily registers and returns the flow-table shape gauges.
+// Nil registry (metrics disabled) yields nil gauges, whose Set is a no-op.
+func (m *DatapathMetrics) tableGauges() (occ, max, imb *metrics.Gauge) {
+	if m.reg == nil {
+		return nil, nil, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.tableOcc == nil {
+		m.tableOcc = m.reg.Gauge("flow_table_occupancy")
+		m.shardMax = m.reg.Gauge("flow_table_shard_max")
+		m.shardImb = m.reg.Gauge("flow_table_shard_imbalance_permille")
+	}
+	return m.tableOcc, m.shardMax, m.shardImb
+}
+
+// TableShape is one control-plane observation of the flow table's size and
+// shard balance, as published by UpdateTableGauges.
+type TableShape struct {
+	Flows             int   `json:"flows"`
+	ShardMax          int   `json:"shard_max"`
+	ImbalancePermille int64 `json:"shard_imbalance_permille"`
+}
+
+// UpdateTableGauges scans the flow table's shards once and publishes
+// occupancy and imbalance gauges (registered lazily on first call). The
+// imbalance is 1000·max/mean shard length: 1000 means perfectly balanced,
+// numShards·1000 means everything hashed into one shard. Control-plane use
+// (daemon /status and /metrics); the datapath never calls it.
+func (v *VSwitch) UpdateTableGauges() TableShape {
+	total, maxShard := v.Table.ShardStats()
+	var imb int64
+	if total > 0 {
+		mean := float64(total) / numShards
+		imb = int64(float64(maxShard)/mean*1000 + 0.5)
+	}
+	occ, mx, im := v.Metrics.tableGauges()
+	occ.Set(int64(total))
+	mx.Set(int64(maxShard))
+	im.Set(imb)
+	return TableShape{Flows: total, ShardMax: maxShard, ImbalancePermille: imb}
+}
+
 // Stats is a plain-value snapshot of the datapath event counters, kept for
 // ergonomic assertions and quick printing; the metrics registry is the
 // source of truth. Field names predate the metrics layer and are preserved.
@@ -186,6 +238,7 @@ type Stats struct {
 	EgressSegs, IngressSegs      int64
 	FailOpen, MalformedOptions   int64
 	FlowTableFull, FlowsEvicted  int64
+	PressureSweeps               int64
 	FeedbackTimeouts             int64
 	Restarts                     int64
 	SnapshotSaves                int64
@@ -219,6 +272,7 @@ func (v *VSwitch) Stats() Stats {
 		MalformedOptions: m.MalformedOptions.Value(),
 		FlowTableFull:    m.FlowTableFull.Value(),
 		FlowsEvicted:     m.FlowsEvicted.Value(),
+		PressureSweeps:   m.PressureSweeps.Value(),
 		FeedbackTimeouts: m.FeedbackTimeouts.Value(),
 
 		Restarts:              m.Restarts.Value(),

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // numShards for the flow table. The paper uses an RCU hash table because
 // lookups vastly outnumber insertions; sharded RW-mutexes give the same
@@ -17,6 +20,17 @@ type tableShard struct {
 // direction, two per TCP connection.
 type Table struct {
 	shards [numShards]tableShard
+
+	// size counts entries across all shards, maintained on every insert and
+	// delete so Len — which the datapath consults on every flow create under
+	// MaxFlows — is one atomic load instead of 64 lock acquisitions.
+	size atomic.Int64
+
+	// gen increments on every operation that removes entries (Delete, Sweep*,
+	// Clear). The batch datapath prefetches flow pointers before processing a
+	// burst; a prefetched pointer is only trusted while gen is unchanged, so
+	// an eviction or GC sweep mid-burst invalidates all outstanding hints.
+	gen atomic.Uint64
 }
 
 // NewTable creates an empty flow table.
@@ -28,8 +42,13 @@ func NewTable() *Table {
 	return t
 }
 
-func (t *Table) shard(k FlowKey) *tableShard {
-	// FNV-1a over the tuple, mixed down to a shard index.
+// shardIndex hashes k (FNV-1a over the tuple) down to a shard number. The
+// raw FNV multiply only carries entropy upward, so the low bits — all a
+// power-of-two shard count keeps — would ignore every input bit above ~6;
+// flows differing only in source port (many connections between one host
+// pair, the common datacenter shape) would then pile into a single shard.
+// The xor-fold finalizer mixes the high half back down before reduction.
+func shardIndex(k FlowKey) int {
 	h := uint64(14695981039346656037)
 	mix := func(v uint64) {
 		h ^= v
@@ -38,8 +57,20 @@ func (t *Table) shard(k FlowKey) *tableShard {
 	mix(uint64(k.Src))
 	mix(uint64(k.Dst))
 	mix(uint64(k.SPort)<<16 | uint64(k.DPort))
-	return &t.shards[h%numShards]
+	h ^= h >> 32
+	h ^= h >> 16
+	return int(h % numShards)
 }
+
+func (t *Table) shard(k FlowKey) *tableShard {
+	return &t.shards[shardIndex(k)]
+}
+
+// genNow snapshots the deletion generation for later genChanged checks.
+func (t *Table) genNow() uint64 { return t.gen.Load() }
+
+// genChanged reports whether any entry was removed since the g snapshot.
+func (t *Table) genChanged(g uint64) bool { return t.gen.Load() != g }
 
 // Get returns the flow for k, or nil.
 func (t *Table) Get(k FlowKey) *Flow {
@@ -48,6 +79,94 @@ func (t *Table) Get(k FlowKey) *Flow {
 	f := s.flows[k]
 	s.mu.RUnlock()
 	return f
+}
+
+// lookupScratch is the reusable state for GetBatch's shard grouping; one per
+// batching call site (the VSwitch owns one), never shared across goroutines.
+type lookupScratch struct {
+	count [numShards]int32
+	start [numShards]int32
+	shard []uint8
+	order []int32
+}
+
+// dupStride is the alias distance GetBatch checks for repeated keys. The
+// batch datapath lays keys out as [fwd0, rev0, fwd1, rev1, ...], so a train
+// of back-to-back segments from one flow — the shape a ring drain of a
+// sender's cwnd burst or a GRO-coalesced receive produces — repeats each key
+// at distance 2.
+const dupStride = 2
+
+// dupShard marks a key slot as an alias of the slot dupStride earlier; it
+// must not collide with a real shard number (numShards < 255).
+const dupShard = 0xff
+
+// GetBatch looks up keys[i] into dst[i] (nil when absent), grouping the
+// lookups by shard so each touched shard's read lock is taken once per batch
+// instead of once per key, and the map probes for one shard run back-to-back
+// (better cache behavior than interleaving lookups with packet processing).
+// A key equal to the key dupStride slots earlier reuses that slot's result
+// instead of re-probing, so per-flow packet trains cost one probe per
+// direction for the whole run. dst must be at least len(keys) long; sc is
+// caller-owned scratch.
+func (t *Table) GetBatch(keys []FlowKey, dst []*Flow, sc *lookupScratch) {
+	n := len(keys)
+	if cap(sc.shard) < n {
+		sc.shard = make([]uint8, n)
+		sc.order = make([]int32, n)
+	}
+	sc.shard = sc.shard[:n]
+	sc.order = sc.order[:n]
+	for i := range sc.count {
+		sc.count[i] = 0
+	}
+	dups := false
+	for i, k := range keys {
+		if i >= dupStride && k == keys[i-dupStride] {
+			sc.shard[i] = dupShard
+			dups = true
+			continue
+		}
+		s := shardIndex(k)
+		sc.shard[i] = uint8(s)
+		sc.count[s]++
+	}
+	// Counting sort: sc.order lists key indices grouped by shard.
+	var sum int32
+	for s := range sc.start {
+		sc.start[s] = sum
+		sum += sc.count[s]
+	}
+	for i := range keys {
+		s := sc.shard[i]
+		if s == dupShard {
+			continue
+		}
+		sc.order[sc.start[s]] = int32(i)
+		sc.start[s]++
+	}
+	pos := 0
+	for s := range t.shards {
+		cnt := int(sc.count[s])
+		if cnt == 0 {
+			continue
+		}
+		sh := &t.shards[s]
+		sh.mu.RLock()
+		for _, i := range sc.order[pos : pos+cnt] {
+			dst[i] = sh.flows[keys[i]]
+		}
+		sh.mu.RUnlock()
+		pos += cnt
+	}
+	if dups {
+		// Ascending order propagates a probed result down a whole train.
+		for i := dupStride; i < n; i++ {
+			if sc.shard[i] == dupShard {
+				dst[i] = dst[i-dupStride]
+			}
+		}
+	}
 }
 
 // GetOrCreate returns the flow for k, creating it with init if absent.
@@ -67,6 +186,7 @@ func (t *Table) GetOrCreate(k FlowKey, init func() *Flow) (f *Flow, created bool
 	}
 	f = init()
 	s.flows[k] = f
+	t.size.Add(1)
 	return f, true
 }
 
@@ -74,19 +194,34 @@ func (t *Table) GetOrCreate(k FlowKey, init func() *Flow) (f *Flow, created bool
 func (t *Table) Delete(k FlowKey) {
 	s := t.shard(k)
 	s.mu.Lock()
-	delete(s.flows, k)
+	if _, ok := s.flows[k]; ok {
+		delete(s.flows, k)
+		t.size.Add(-1)
+		t.gen.Add(1)
+	}
 	s.mu.Unlock()
 }
 
-// Len counts entries across all shards.
+// Len reports the entry count: one atomic load, O(1) — the MaxFlows capacity
+// check runs it on every flow create, so it must not scan shards.
 func (t *Table) Len() int {
-	n := 0
+	return int(t.size.Load())
+}
+
+// ShardStats scans the shards once (read-locked one at a time) and reports
+// the total entry count plus the longest shard, for the occupancy and
+// imbalance gauges. Control-plane use only; the datapath never calls it.
+func (t *Table) ShardStats() (total, maxShard int) {
 	for i := range t.shards {
 		t.shards[i].mu.RLock()
-		n += len(t.shards[i].flows)
+		n := len(t.shards[i].flows)
 		t.shards[i].mu.RUnlock()
+		total += n
+		if n > maxShard {
+			maxShard = n
+		}
 	}
-	return n
+	return total, maxShard
 }
 
 // Range calls fn for every flow; fn must not mutate the table. Iteration
@@ -111,26 +246,51 @@ func (t *Table) Clear() int {
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
-		removed += len(s.flows)
-		clear(s.flows)
+		n := len(s.flows)
+		if n > 0 {
+			removed += n
+			clear(s.flows)
+			t.size.Add(-int64(n))
+		}
 		s.mu.Unlock()
+	}
+	if removed > 0 {
+		t.gen.Add(1)
 	}
 	return removed
 }
 
 // Sweep removes flows failing keep and returns how many were removed.
 func (t *Table) Sweep(keep func(*Flow) bool) int {
+	return t.SweepRange(0, numShards, keep)
+}
+
+// SweepShard sweeps one shard: the unit of incremental pressure eviction.
+func (t *Table) SweepShard(i int, keep func(*Flow) bool) int {
+	s := &t.shards[i]
 	removed := 0
-	for i := range t.shards {
-		s := &t.shards[i]
-		s.mu.Lock()
-		for k, f := range s.flows {
-			if !keep(f) {
-				delete(s.flows, k)
-				removed++
-			}
+	s.mu.Lock()
+	for k, f := range s.flows {
+		if !keep(f) {
+			delete(s.flows, k)
+			removed++
 		}
-		s.mu.Unlock()
+	}
+	s.mu.Unlock()
+	if removed > 0 {
+		t.size.Add(-int64(removed))
+		t.gen.Add(1)
+	}
+	return removed
+}
+
+// SweepRange sweeps shards [lo, hi): the unit of the sharded GC tick, which
+// walks the table one shard-group at a time instead of locking all 64 shards
+// in one timer callback.
+func (t *Table) SweepRange(lo, hi int, keep func(*Flow) bool) int {
+	removed := 0
+	for i := lo; i < hi; i++ {
+		removed += t.SweepShard(i, keep)
 	}
 	return removed
 }

@@ -370,11 +370,15 @@ func (d *Daemon) SetFaultProfile(p faults.Profile) error {
 	return d.Exec(func() { in.SetProfile(p) })
 }
 
-// MetricsSnapshot merges every host's datapath registry into one view.
+// MetricsSnapshot merges every host's datapath registry into one view. Each
+// host's flow-table shape gauges (occupancy, shard max, imbalance) are
+// refreshed first so a Prometheus scrape sees the table as of this scrape,
+// not as of the last control-plane visit.
 func (d *Daemon) MetricsSnapshot() metrics.Snapshot {
 	snaps := make([]metrics.Snapshot, 0, len(d.net.ACDC))
 	for _, v := range d.net.ACDC {
 		if v != nil {
+			v.UpdateTableGauges()
 			snaps = append(snaps, v.Metrics.Snapshot())
 		}
 	}
@@ -435,19 +439,37 @@ type Status struct {
 	EnqueueRetries int64   `json:"enqueue_retries"`
 	AuditTotal     int64   `json:"audit_violations"`
 	FailOpen       int64   `json:"fail_open"`
-	Degraded       string  `json:"degraded,omitempty"`
+	// Flow-table shape, worst case across hosts: the longest single shard and
+	// the highest imbalance (1000·max/mean shard length; 1000 = perfectly
+	// balanced). A climbing imbalance flags a degenerate key distribution
+	// before it shows up as tail latency.
+	TableShardMax          int    `json:"table_shard_max"`
+	TableImbalancePermille int64  `json:"table_shard_imbalance_permille"`
+	PressureSweeps         int64  `json:"pressure_sweeps"`
+	Degraded               string `json:"degraded,omitempty"`
 }
 
 // StatusNow assembles the current status. Everything it reads is
-// goroutine-safe (atomic sim clock, sharded table, atomic counters).
+// goroutine-safe (atomic sim clock, sharded table, atomic counters). As a
+// side effect it republishes each host's table-shape gauges, so a /status
+// poll keeps the Prometheus view fresh too.
 func (d *Daemon) StatusNow() Status {
 	now := d.net.Sim.Now()
 	flows := 0
-	var failOpen int64
+	var failOpen, sweeps, imb int64
+	shardMax := 0
 	for _, v := range d.net.ACDC {
 		if v != nil {
-			flows += v.FlowCount()
+			shape := v.UpdateTableGauges()
+			flows += shape.Flows
+			if shape.ShardMax > shardMax {
+				shardMax = shape.ShardMax
+			}
+			if shape.ImbalancePermille > imb {
+				imb = shape.ImbalancePermille
+			}
 			failOpen += v.Metrics.FailOpen.Value()
+			sweeps += v.Metrics.PressureSweeps.Value()
 		}
 	}
 	return Status{
@@ -463,7 +485,11 @@ func (d *Daemon) StatusNow() Status {
 		EnqueueRetries: d.enqueueRetries.Load(),
 		AuditTotal:     d.net.AuditViolations(),
 		FailOpen:       failOpen,
-		Degraded:       d.DegradedReason(),
+
+		TableShardMax:          shardMax,
+		TableImbalancePermille: imb,
+		PressureSweeps:         sweeps,
+		Degraded:               d.DegradedReason(),
 	}
 }
 

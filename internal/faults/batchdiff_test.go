@@ -1,0 +1,249 @@
+// Chaos batch differential: the batch datapath must stay observably identical
+// to the per-packet datapath on *fault-shaped* traffic, not just on scripted
+// mixes. Each catalog profile drives a real dumbbell run with batching
+// disabled and every vSwitch input recorded in arrival order; the recorded
+// per-host streams are then replayed into fresh vSwitches twice — packet at a
+// time, and through EgressBatch/IngressBatch at several burst splits — and
+// every observable (output bytes, drops, final stats, table size, audit event
+// stream) must agree. Runs under -race in CI alongside the chaos suite.
+package faults_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"acdc/internal/core"
+	"acdc/internal/faults"
+	"acdc/internal/netsim"
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+	"acdc/internal/topo"
+	"acdc/internal/workload"
+)
+
+const (
+	bdiffPairs = 2
+	bdiffBulk  = 512 << 10
+	bdiffBound = sim.Second
+)
+
+// bdiffStep is one packet as it entered a vSwitch hook: direction plus a
+// clone of the wire bytes taken before the datapath mutated them.
+type bdiffStep struct {
+	egress bool
+	buf    []byte
+}
+
+// recordStreams runs the bulk workload under prof on a dumbbell with batch
+// hooks removed (so the per-packet wrappers see every packet) and returns the
+// in-order vSwitch input stream of each host. Faults act on the links, so the
+// recorded streams carry whatever the profile did to the traffic — drops,
+// dups, reordering, corrupted headers, stripped options.
+func recordStreams(prof *faults.Profile, seed int64) [][]bdiffStep {
+	net := topo.Dumbbell(bdiffPairs, chaosOptions(prof, seed))
+	streams := make([][]bdiffStep, len(net.Hosts))
+	for i, h := range net.Hosts {
+		i := i
+		h.EgressBatch, h.IngressBatch = nil, nil
+		wrap := func(egress bool, orig netsim.PathHook) netsim.PathHook {
+			if orig == nil {
+				return nil
+			}
+			return func(p *packet.Packet) (*packet.Packet, *packet.Packet) {
+				streams[i] = append(streams[i], bdiffStep{
+					egress: egress,
+					buf:    append([]byte(nil), p.Buf...),
+				})
+				return orig(p)
+			}
+		}
+		h.Egress = wrap(true, h.Egress)
+		h.Ingress = wrap(false, h.Ingress)
+	}
+	m := workload.NewManager(net)
+	for i := 0; i < bdiffPairs; i++ {
+		m.Open(i, bdiffPairs+i).SendBulk(bdiffBulk)
+	}
+	net.Sim.RunFor(bdiffBound)
+	return streams
+}
+
+// bdiffAuditor records every audit callback as a formatted line so the two
+// replays can be compared event-for-event. All event structs are plain values.
+type bdiffAuditor struct {
+	log []string
+}
+
+func (a *bdiffAuditor) PacketEvent(v *core.VSwitch, dir core.AuditDir, pre core.PacketPre, out, extra *packet.Packet, outIsInput bool) {
+	var ob, eb []byte
+	if out != nil {
+		ob = out.Buf
+	}
+	if extra != nil {
+		eb = extra.Buf
+	}
+	a.log = append(a.log, fmt.Sprintf("pkt %v pre=%+v out=%x extra=%x in=%v", dir, pre, ob, eb, outIsInput))
+}
+func (a *bdiffAuditor) AckEvent(v *core.VSwitch, e core.AckEvent) {
+	a.log = append(a.log, fmt.Sprintf("ack %+v", e))
+}
+func (a *bdiffAuditor) CutEvent(v *core.VSwitch, e core.CutEvent) {
+	a.log = append(a.log, fmt.Sprintf("cut %+v", e))
+}
+func (a *bdiffAuditor) PoliceEvent(v *core.VSwitch, e core.PoliceEvent) {
+	a.log = append(a.log, fmt.Sprintf("pol %+v", e))
+}
+
+// bdiffRow is the observable outcome for one replayed packet.
+type bdiffRow struct {
+	out, extra []byte
+	dropped    bool
+}
+
+func bdiffRowOf(out, extra *packet.Packet) bdiffRow {
+	r := bdiffRow{dropped: out == nil && extra == nil}
+	if out != nil {
+		r.out = append([]byte(nil), out.Buf...)
+	}
+	if extra != nil {
+		r.extra = append([]byte(nil), extra.Buf...)
+	}
+	return r
+}
+
+// bdiffVSwitch builds a standalone replay vSwitch with the chaos suite's
+// datapath config (bounded table, so pressure eviction is in play).
+func bdiffVSwitch() (*core.VSwitch, *bdiffAuditor) {
+	s := sim.New(7)
+	host := netsim.NewHost(s, "h", packet.MakeAddr(10, 0, 0, 1))
+	host.NIC = netsim.NewLink(s, "nic", 10e9, sim.Microsecond,
+		netsim.HandlerFunc(func(*packet.Packet) {}))
+	cfg := core.DefaultConfig()
+	cfg.MaxFlows = 64
+	v := core.Attach(s, host, cfg)
+	aud := &bdiffAuditor{}
+	v.Audit = aud
+	return v, aud
+}
+
+func bdiffSequential(v *core.VSwitch, steps []bdiffStep) []bdiffRow {
+	rows := make([]bdiffRow, 0, len(steps))
+	for _, st := range steps {
+		p := &packet.Packet{Buf: append([]byte(nil), st.buf...)}
+		var out, extra *packet.Packet
+		if st.egress {
+			out, extra = v.EgressPath(p)
+		} else {
+			out, extra = v.IngressPath(p)
+		}
+		rows = append(rows, bdiffRowOf(out, extra))
+	}
+	return rows
+}
+
+// bdiffBatched chops each run of consecutive same-direction packets into
+// bursts of at most split and drives them through the batch entry points.
+func bdiffBatched(v *core.VSwitch, steps []bdiffStep, split int) []bdiffRow {
+	rows := make([]bdiffRow, 0, len(steps))
+	var pairs []*packet.Packet
+	for i := 0; i < len(steps); {
+		j := i
+		for j < len(steps) && steps[j].egress == steps[i].egress {
+			j++
+		}
+		for i < j {
+			n := j - i
+			if n > split {
+				n = split
+			}
+			burst := make([]*packet.Packet, n)
+			for k, st := range steps[i : i+n] {
+				burst[k] = &packet.Packet{Buf: append([]byte(nil), st.buf...)}
+			}
+			if steps[i].egress {
+				pairs = v.EgressBatch(burst, pairs[:0])
+			} else {
+				pairs = v.IngressBatch(burst, pairs[:0])
+			}
+			for k := range burst {
+				rows = append(rows, bdiffRowOf(pairs[2*k], pairs[2*k+1]))
+			}
+			i += n
+		}
+	}
+	return rows
+}
+
+func bdiffCompare(t *testing.T, steps []bdiffStep, split int) {
+	t.Helper()
+	va, auda := bdiffVSwitch()
+	vb, audb := bdiffVSwitch()
+	rowsA := bdiffSequential(va, steps)
+	rowsB := bdiffBatched(vb, steps, split)
+	if len(rowsA) != len(rowsB) {
+		t.Fatalf("split=%d: %d sequential rows vs %d batched", split, len(rowsA), len(rowsB))
+	}
+	for i := range rowsA {
+		a, b := rowsA[i], rowsB[i]
+		if a.dropped != b.dropped || !bytes.Equal(a.out, b.out) || !bytes.Equal(a.extra, b.extra) {
+			t.Fatalf("split=%d: packet %d diverged\nseq:   drop=%v out=%x extra=%x\nbatch: drop=%v out=%x extra=%x",
+				split, i, a.dropped, a.out, a.extra, b.dropped, b.out, b.extra)
+		}
+	}
+	if sa, sb := va.Stats(), vb.Stats(); sa != sb {
+		t.Fatalf("split=%d: stats diverged\nseq:   %+v\nbatch: %+v", split, sa, sb)
+	}
+	if va.Table.Len() != vb.Table.Len() {
+		t.Fatalf("split=%d: table len %d vs %d", split, va.Table.Len(), vb.Table.Len())
+	}
+	if !reflect.DeepEqual(auda.log, audb.log) {
+		n := len(auda.log)
+		if len(audb.log) < n {
+			n = len(audb.log)
+		}
+		for i := 0; i < n; i++ {
+			if auda.log[i] != audb.log[i] {
+				t.Fatalf("split=%d: audit event %d diverged\nseq:   %s\nbatch: %s",
+					split, i, auda.log[i], audb.log[i])
+			}
+		}
+		t.Fatalf("split=%d: audit stream length %d vs %d", split, len(auda.log), len(audb.log))
+	}
+}
+
+// TestChaosBatchDifferential: for every catalog fault profile, replaying each
+// host's recorded traffic batched must be indistinguishable from replaying it
+// packet at a time.
+func TestChaosBatchDifferential(t *testing.T) {
+	for _, name := range []string{
+		"loss", "heavy-loss", "reorder", "dup", "jitter",
+		"corrupt", "strip-options", "feedback-loss", "chaos",
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prof, ok := faults.Lookup(name)
+			if !ok {
+				t.Fatalf("profile %q missing", name)
+			}
+			streams := recordStreams(&prof, 21)
+			total := 0
+			for host, steps := range streams {
+				total += len(steps)
+				if len(steps) == 0 {
+					continue
+				}
+				for _, split := range []int{1, 3, 32} {
+					split := split
+					t.Run(fmt.Sprintf("host=%d/split=%d", host, split), func(t *testing.T) {
+						bdiffCompare(t, steps, split)
+					})
+				}
+			}
+			if total == 0 {
+				t.Fatalf("profile %s recorded no traffic", name)
+			}
+		})
+	}
+}

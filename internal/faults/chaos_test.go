@@ -89,6 +89,43 @@ func wrapHostRwnd(h *netsim.Host, widened *int64) {
 	}
 	h.Egress = wrap(h.Egress)
 	h.Ingress = wrap(h.Ingress)
+
+	// The batch hooks run the same invariant per burst element; bursts would
+	// otherwise bypass the per-packet wrapper entirely.
+	wrapBatch := func(orig netsim.BatchPathHook) netsim.BatchPathHook {
+		if orig == nil {
+			return nil
+		}
+		return func(ps, pairs []*packet.Packet) []*packet.Packet {
+			type preWnd struct {
+				wnd       uint16
+				checkable bool
+			}
+			pre := make([]preWnd, len(ps))
+			for i, p := range ps {
+				if ip := packet.IPv4(p.Buf); ip.Valid() && ip.Protocol() == packet.ProtoTCP {
+					if tc := ip.TCP(); tc.Valid() {
+						pre[i] = preWnd{tc.Window(), true}
+					}
+				}
+			}
+			base := len(pairs)
+			pairs = orig(ps, pairs)
+			for i, p := range ps {
+				out := pairs[base+2*i]
+				if pre[i].checkable && out == p {
+					if ip := packet.IPv4(out.Buf); ip.Valid() && ip.Protocol() == packet.ProtoTCP {
+						if tc := ip.TCP(); tc.Valid() && tc.Window() > pre[i].wnd {
+							*widened++
+						}
+					}
+				}
+			}
+			return pairs
+		}
+	}
+	h.EgressBatch = wrapBatch(h.EgressBatch)
+	h.IngressBatch = wrapBatch(h.IngressBatch)
 }
 
 // chaosOutcome is everything a chaos run asserts on or compares across runs.

@@ -68,6 +68,16 @@ func (t TCP) ClearFlags(mask uint8) {
 	t.setChecksum(UpdateChecksum8Pair(t.Checksum(), old, t[13], false))
 }
 
+// SetSeq overwrites the sequence number, incrementally fixing the checksum
+// (two 16-bit word substitutions, RFC 1624 style — same arithmetic as
+// SetWindow).
+func (t TCP) SetSeq(v uint32) {
+	old := binary.BigEndian.Uint32(t[4:8])
+	binary.BigEndian.PutUint32(t[4:8], v)
+	c := UpdateChecksum16(t.Checksum(), uint16(old>>16), uint16(v>>16))
+	t.setChecksum(UpdateChecksum16(c, uint16(old), uint16(v)))
+}
+
 // Window returns the (unscaled) receive window field.
 func (t TCP) Window() uint16 { return binary.BigEndian.Uint16(t[14:16]) }
 

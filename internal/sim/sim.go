@@ -170,6 +170,23 @@ func (s *Simulator) recycle(ev *Event) {
 	}
 }
 
+// moveTo reschedules a still-pending event to fire at time t without the
+// remove/push round trip a cancel+schedule pair would pay: the event keeps
+// its heap slot identity, takes a fresh sequence number (so its order among
+// same-time events is exactly what a cancel+schedule would produce), and
+// sifts to its new position in one pass. The caller (Timer.Reset) guarantees
+// ev is pending. Times in the past clamp to now, like At.
+func (s *Simulator) moveTo(ev *Event, t Time) {
+	if now := s.Now(); t < now {
+		t = now
+	}
+	s.seq++
+	ev.when, ev.seq = t, s.seq
+	if !s.siftDown(ev.index) {
+		s.siftUp(ev.index)
+	}
+}
+
 // Cancel removes a pending event so it will not fire and recycles it. Safe to
 // call with nil or on events that already fired or were cancelled (no-op) —
 // but see the package comment: a stale handle may alias a reused event.

@@ -3,10 +3,21 @@ package sim
 // Timer is a restartable one-shot timer bound to a Simulator, modelled after
 // the kernel timers TCP uses for retransmission and delayed ACKs. Unlike raw
 // Events, a Timer can be reset repeatedly and remembers its callback.
+//
+// Rearming is lazy, the way kernel TCP keepalive timers are: Reset only
+// records the new logical deadline when the already-pending event fires no
+// later than it, and the expiry handler re-arms to the recorded deadline
+// instead of running the callback early. Per-segment timers (inactivity,
+// delayed ACK) are reset on every packet but almost never fire, so the common
+// case — deadline pushed further out — costs two stores instead of a
+// heap-sift over every pending event in the simulation.
 type Timer struct {
 	sim *Simulator
 	fn  func()
 	ev  *Event
+	// deadline is the logical expiry; ev.when may be earlier (a stale,
+	// not-yet-collapsed arm), in which case fire re-arms instead of running fn.
+	deadline Time
 	// fireFn is t.fire bound once at construction; taking the method value
 	// inside Reset would allocate a fresh closure on every (re)arm.
 	fireFn func()
@@ -19,15 +30,29 @@ func NewTimer(s *Simulator, fn func()) *Timer {
 	return t
 }
 
-// Reset (re)arms the timer to fire after d, cancelling any pending expiry.
+// Reset (re)arms the timer to fire after d, superseding any pending expiry.
 func (t *Timer) Reset(d Duration) {
-	t.Stop()
-	t.ev = t.sim.Schedule(d, t.fireFn)
+	if d < 0 {
+		d = 0
+	}
+	t.ResetAt(t.sim.Now() + d)
 }
 
-// ResetAt (re)arms the timer to fire at absolute time at.
+// ResetAt (re)arms the timer to fire at absolute time at. fire clears t.ev
+// before the handle can go stale, so a non-nil t.ev is always still pending.
 func (t *Timer) ResetAt(at Time) {
-	t.Stop()
+	t.deadline = at
+	if t.ev != nil {
+		if t.ev.when <= at {
+			// The pending event fires no later than the new deadline; fire
+			// will notice the deadline moved and re-arm. Deferring the heap
+			// update to then is what makes the per-packet rearm O(1).
+			return
+		}
+		// Moving earlier: the pending event is too late, sift it in place.
+		t.sim.moveTo(t.ev, at)
+		return
+	}
 	t.ev = t.sim.At(at, t.fireFn)
 }
 
@@ -55,13 +80,19 @@ func (t *Timer) Deadline() Time {
 	if t.ev == nil {
 		return 0
 	}
-	return t.ev.When()
+	return t.deadline
 }
 
-// fire clears the pending handle before running the callback: the event has
-// fired and been recycled, so holding the stale pointer any longer would
-// violate the Event lifetime contract (see package comment).
+// fire runs at the scheduled event's expiry. If Reset pushed the logical
+// deadline past the event that just fired, this is a stale wakeup: re-arm at
+// the real deadline and stay silent. Otherwise clear the pending handle (the
+// event has been recycled; holding the stale pointer would violate the Event
+// lifetime contract, see package comment) and run the callback.
 func (t *Timer) fire() {
 	t.ev = nil
+	if d := t.deadline; d > t.sim.Now() {
+		t.ev = t.sim.At(d, t.fireFn)
+		return
+	}
 	t.fn()
 }

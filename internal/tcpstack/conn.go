@@ -88,6 +88,14 @@ type Conn struct {
 	inOutput    bool
 	outputAgain bool
 
+	// tx batching: while bursting, transmit collects segments into txBurst
+	// instead of handing them to Host.Output one at a time; output flushes
+	// the burst through Host.OutputBatch so the vSwitch egress path amortizes
+	// flow lookups and lock acquisitions across the window's worth of
+	// segments. Capped at txBurstCap to bound latency and scratch size.
+	bursting bool
+	txBurst  []*packet.Packet
+
 	// --- receiver ---
 	rcvNxt   int64
 	finRcvd  int64 // absolute offset of the peer FIN; -1 until seen

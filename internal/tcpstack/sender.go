@@ -292,11 +292,32 @@ func (c *Conn) output() {
 	defer func() { c.inOutput = false }()
 	for {
 		c.outputAgain = false
+		c.bursting = true
 		c.outputLoop()
+		c.bursting = false
+		c.flushBurst()
 		if !c.outputAgain {
 			return
 		}
 	}
+}
+
+// txBurstCap bounds how many segments accumulate before a flush: one batch
+// hook traversal per 64 segments captures nearly all of the amortization
+// while keeping the burst buffer small.
+const txBurstCap = 64
+
+// flushBurst hands the accumulated segments to the host in one batch. Any
+// re-entrant output triggered by the dispatch (synchronous egress drop or
+// NIC rejection crediting TSQ) is flattened into the caller's loop by the
+// inOutput guard, so txBurst is never appended to while it is being flushed.
+func (c *Conn) flushBurst() {
+	if len(c.txBurst) == 0 {
+		return
+	}
+	c.stack.Host.OutputBatch(c.txBurst)
+	clear(c.txBurst)
+	c.txBurst = c.txBurst[:0]
 }
 
 func (c *Conn) outputLoop() {
@@ -421,6 +442,18 @@ func (c *Conn) transmit(f packet.TCPFields, payloadLen int, ecn packet.ECN) {
 	p.FlowTag = c.FlowTag
 	c.SentSegs++
 	c.nicQueued += int64(p.IPLen())
+	if c.bursting {
+		c.txBurst = append(c.txBurst, p)
+		if len(c.txBurst) >= txBurstCap {
+			// Mid-loop flush: bursting stays set; transmit is never reached
+			// re-entrantly (the inOutput guard flattens nested output calls),
+			// so the buffer is safe to drain and reuse here.
+			c.stack.Host.OutputBatch(c.txBurst)
+			clear(c.txBurst)
+			c.txBurst = c.txBurst[:0]
+		}
+		return
+	}
 	c.stack.Host.Output(p)
 }
 
