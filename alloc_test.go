@@ -13,7 +13,12 @@ import (
 
 	"acdc/internal/audit"
 	"acdc/internal/benchkit"
+	"acdc/internal/faults"
 	"acdc/internal/packet"
+	"acdc/internal/sim"
+	"acdc/internal/tcpstack"
+	"acdc/internal/topo"
+	"acdc/internal/workload"
 )
 
 // TestSenderDatapathZeroAlloc drives the Figure 11 sender-side loop
@@ -186,5 +191,74 @@ func TestStreamDatapathZeroAlloc(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(200, roundRB); n != 0 {
 		t.Errorf("receiver stream batch: %v allocs/op, want 0", n)
+	}
+}
+
+// TestFabricFlapLeakFree pins packet-pool and event ownership across link
+// lifecycle churn, end to end: a k=4 fat-tree carrying cross-pod bulk traffic
+// while an aggregation switch's spine uplinks flap continuously. Every drain
+// path a flap exercises — queued packets discarded by Down(), sends refused
+// while down, ECMP blackholes when a group loses every member — must return
+// ownership to packet.Pool, and the down/up timer churn must recycle through
+// the simulator's event free list. A leak in any of them shows up here as
+// unbounded pool/event allocation growth after warm-up.
+func TestFabricFlapLeakFree(t *testing.T) {
+	// Both of p0-agg0's core uplinks flap together (300us down / 700us up,
+	// 78 cycles from t=2ms), so pod-0 traffic repeatedly loses the whole
+	// uplink group mid-burst.
+	doms, err := faults.ParseDomains("flap@2ms,link=p0-agg0>*,down=300us,up=700us,count=78")
+	if err != nil {
+		t.Fatalf("ParseDomains: %v", err)
+	}
+	net := topo.FatTree(topo.FatTreeConfig{K: 4}, topo.Options{
+		Guest:  tcpstack.DefaultConfig(),
+		Seed:   1,
+		Fabric: doms,
+	})
+	m := workload.NewManager(net)
+	flows := make([]*workload.Messenger, 0, 8)
+	for i := 0; i < 8; i++ {
+		flows = append(flows, m.Open(i, (i+8)%16)) // pods 0,1 → 2,3: all cross-spine
+	}
+	var refill func()
+	refill = func() {
+		for _, f := range flows {
+			f.SendBulk(512 << 10)
+		}
+		net.Sim.ScheduleFunc(sim.Millisecond, refill)
+	}
+	net.Sim.ScheduleFunc(0, refill)
+
+	// Warm up through ~18 flap cycles: pool and event free lists reach their
+	// high-water marks, flows are in steady congestion avoidance.
+	net.Sim.Run(20 * sim.Millisecond)
+	newsWarm, allocWarm := net.Pool.News, net.Sim.Allocated()
+
+	// Sixty more cycles. A Down() drain that dropped pool ownership would
+	// bleed the free list every cycle and force fresh allocations linearly
+	// (hundreds over this window); a healthy lifecycle stays near flat.
+	net.Sim.Run(60 * sim.Millisecond)
+	if grew := net.Pool.News - newsWarm; grew > 200 {
+		t.Errorf("pool allocated %d fresh packets across flap cycles after warm-up (leaked ownership on drain?)", grew)
+	}
+	if grew := net.Sim.Allocated() - allocWarm; grew > 512 {
+		t.Errorf("simulator allocated %d fresh events across flap cycles after warm-up (timer leak?)", grew)
+	}
+
+	// The run must actually have exercised the drain paths, or the bounds
+	// above pin nothing.
+	snap := net.FabricSnapshot()
+	if downs := snap.Counter("fabric_link_downs_total"); downs < 100 {
+		t.Fatalf("only %d link-down events — flap plan did not run", downs)
+	}
+	if snap.Counter("link_drops_total{reason=down}") == 0 {
+		t.Fatal("no down-drain drops: flaps never caught a busy queue, test lost its teeth")
+	}
+	var delivered int64
+	for _, f := range flows {
+		delivered += f.Delivered()
+	}
+	if delivered == 0 {
+		t.Fatal("no traffic delivered under flaps")
 	}
 }

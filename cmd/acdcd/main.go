@@ -7,9 +7,15 @@
 // Usage:
 //
 //	acdcd -listen 127.0.0.1:7654 -hosts 4 -scale 0.05
+//	acdcd -listen 0.0.0.0:7654 -admin-token $TOKEN
+//	acdcd -fabric flap@5ms,link=h0.up,down=1ms,up=10ms,count=100
 //
-// The daemon binds to loopback by default and has no auth; do not expose the
-// listener beyond the host.
+// The daemon binds to loopback by default. A non-loopback bind is refused
+// unless -admin-token is set; with a token, every mutating endpoint requires
+// `Authorization: Bearer <token>` (read-only probes stay open for health
+// checks and metric scrapes). With -fabric, the named fault domains are armed
+// on the service topology (star link names are "h<i>.up"/"h<i>.down"; see
+// `acdcd -fabric list`) and fabric counters appear in /status and /metrics.
 package main
 
 import (
@@ -24,12 +30,14 @@ import (
 	"time"
 
 	"acdc/internal/daemon"
+	"acdc/internal/faults"
 	"acdc/internal/sim"
 )
 
 func main() {
 	var (
-		listen      = flag.String("listen", "127.0.0.1:7654", "admin API listen address (keep on loopback; no auth)")
+		listen      = flag.String("listen", "127.0.0.1:7654", "admin API listen address (non-loopback requires -admin-token)")
+		adminToken  = flag.String("admin-token", "", "bearer token required on mutating admin endpoints (empty = open, loopback only)")
 		hosts       = flag.Int("hosts", 4, "star topology size")
 		seed        = flag.Int64("seed", 1, "simulation seed")
 		scale       = flag.Float64("scale", 0.05, "virtual seconds advanced per wall second")
@@ -37,10 +45,30 @@ func main() {
 		tick        = flag.Duration("tick", 2*time.Millisecond, "wall interval between pacer advances")
 		auditSample = flag.Int("audit-sample", 64, "audit 1-in-N packet events (state transitions always checked; <0 disables)")
 		workload    = flag.Bool("workload", true, "drive continuous background bulk traffic")
+		fabricSpec  = flag.String("fabric", "", "fabric fault domains armed on the service links: kind[@time],key=val,...;... (`list` for syntax)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "acdcd: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	var fabric []faults.FaultDomain
+	if *fabricSpec != "" {
+		if *fabricSpec == "help" || *fabricSpec == "list" {
+			fmt.Print(faults.DomainHelp())
+			return
+		}
+		ds, err := faults.ParseDomains(*fabricSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acdcd: bad -fabric %q: %v\n", *fabricSpec, err)
+			os.Exit(2)
+		}
+		fabric = ds
+	}
+
+	if *adminToken == "" && !daemon.LoopbackAddr(*listen) {
+		fmt.Fprintf(os.Stderr, "acdcd: refusing to bind the unauthenticated admin API to non-loopback %q; set -admin-token or listen on 127.0.0.1\n", *listen)
 		os.Exit(2)
 	}
 
@@ -52,14 +80,20 @@ func main() {
 		Tick:        *tick,
 		AuditSample: *auditSample,
 		Workload:    *workload,
+		Fabric:      fabric,
+		AdminToken:  *adminToken,
 	})
 	d.Start()
 
 	srv := &http.Server{Addr: *listen, Handler: d.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("acdcd: serving admin API on http://%s (hosts=%d scale=%g seed=%d)",
-		*listen, *hosts, *scale, *seed)
+	auth := "open (loopback only)"
+	if *adminToken != "" {
+		auth = "bearer token on mutating endpoints"
+	}
+	log.Printf("acdcd: serving admin API on http://%s (hosts=%d scale=%g seed=%d, auth: %s)",
+		*listen, *hosts, *scale, *seed, auth)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

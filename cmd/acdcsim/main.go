@@ -12,6 +12,7 @@
 //	acdcsim -faults drop=0.01,jitter=50us fig8
 //	acdcsim -restart warm@1ms fig8       restart every vSwitch mid-run
 //	acdcsim -restart stale@1ms,age=500us,down=50us fig8
+//	acdcsim -fabric link-down@5ms,link=left>right,for=1ms fig8
 //	acdcsim -audit fig8        check datapath invariants, log violations
 //	acdcsim -audit-panic fig8  ...or abort on the first violation
 //
@@ -20,8 +21,12 @@
 // simulator, so results and their printed order are identical to a
 // sequential run — only wall time changes.
 //
-// Run `acdcsim -faults list` to list the built-in profiles and
-// `acdcsim -restart list` to list the restart variants.
+// Run `acdcsim -faults list` to list the built-in profiles,
+// `acdcsim -restart list` to list the restart variants, and
+// `acdcsim -fabric list` for the fabric fault-domain syntax. Fabric plans
+// address links by topology-specific names (the dumbbell trunk is
+// "left>right"); a plan matching zero links aborts the run rather than
+// silently reporting a clean fabric.
 package main
 
 import (
@@ -44,6 +49,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "experiment workers (0 = one per CPU, 1 = sequential)")
 	faultSpec := flag.String("faults", "", "fault profile: a built-in name or k=v list (`list` to enumerate)")
 	restartSpec := flag.String("restart", "", "vSwitch restart plan: mode[@time][,key=val...] (`list` to enumerate)")
+	fabricSpec := flag.String("fabric", "", "fabric fault domains: kind[@time],key=val,...;... (`list` for syntax)")
 	auditOn := flag.Bool("audit", false, "attach the datapath invariant auditor to every AC/DC vSwitch (violations logged to stderr)")
 	auditPanic := flag.Bool("audit-panic", false, "like -audit, but the first violation aborts the run")
 	flag.Parse()
@@ -76,6 +82,20 @@ func main() {
 		restart = &p
 	}
 
+	var fabric []faults.FaultDomain
+	if *fabricSpec != "" {
+		if *fabricSpec == "help" || *fabricSpec == "list" {
+			fmt.Print(faults.DomainHelp())
+			return
+		}
+		ds, err := faults.ParseDomains(*fabricSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acdcsim: bad -fabric %q: %v\n", *fabricSpec, err)
+			os.Exit(2)
+		}
+		fabric = ds
+	}
+
 	if *list {
 		for _, e := range experiments.Registry {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
@@ -91,7 +111,7 @@ func main() {
 		}
 	}
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: acdcsim [-long] [-seed N] [-faults P] [-restart R] [-audit] (-list | -all | <experiment-id>...)")
+		fmt.Fprintln(os.Stderr, "usage: acdcsim [-long] [-seed N] [-faults P] [-restart R] [-fabric D] [-audit] (-list | -all | <experiment-id>...)")
 		fmt.Fprintln(os.Stderr, "run `acdcsim -list` for available experiments")
 		os.Exit(2)
 	}
@@ -101,7 +121,7 @@ func main() {
 		auditCfg = &audit.Config{Panic: *auditPanic}
 	}
 
-	cfg := experiments.RunConfig{Long: *long, Seed: *seed, Faults: prof, Restart: restart, Audit: auditCfg}
+	cfg := experiments.RunConfig{Long: *long, Seed: *seed, Faults: prof, Restart: restart, Audit: auditCfg, Fabric: fabric}
 	if prof != nil && prof.Enabled() {
 		// Announce chaos runs up front (and only then, so fault-free output
 		// is byte-identical to a build without the flag).
@@ -110,6 +130,14 @@ func main() {
 	}
 	if restart != nil {
 		fmt.Printf("vSwitch restart: %s on %s\n\n", restart.String(), strings.Join(ids, " "))
+	}
+	if len(fabric) > 0 {
+		plans := make([]string, len(fabric))
+		for i, d := range fabric {
+			plans[i] = d.String()
+		}
+		fmt.Printf("fabric fault domains: %s (seed %d) on %s\n\n",
+			strings.Join(plans, ";"), *seed, strings.Join(ids, " "))
 	}
 	if auditCfg != nil {
 		mode := "log"

@@ -13,6 +13,7 @@
 //	acdcsuite -seed 1 -parallel 0      base seed / worker count
 //	acdcsuite -faults list             fault-profile syntax for spec Faults fields
 //	acdcsuite -restart list            restart-plan syntax for spec Restart fields
+//	acdcsuite -fabric list             fault-domain syntax for spec Fabric fields
 //
 // Exit status: 0 when every expected-invariant check passes and every metric
 // is inside its baseline tolerance band; 1 on any check failure, baseline
@@ -51,6 +52,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress and per-scenario metric lines (failures still print)")
 	faultSpec := flag.String("faults", "", "`list` shows the fault-profile syntax scenario specs use in their Faults field")
 	restartSpec := flag.String("restart", "", "`list` shows the restart-plan syntax scenario specs use in their Restart field")
+	fabricSpec := flag.String("fabric", "", "`list` shows the fault-domain syntax scenario specs use in their Fabric field")
 	soakMode := flag.Bool("soak", false, "run the service-mode soak (leak/drift gates) instead of the scenario catalog")
 	soakDuration := flag.Duration("soak-duration", 60*time.Second, "wall-clock soak length (with -soak)")
 	flag.Parse()
@@ -75,6 +77,13 @@ func main() {
 			return
 		}
 		fail(2, "acdcsuite: restart plans belong in the scenario spec's Restart field (use -restart list for syntax)")
+	}
+	if *fabricSpec != "" {
+		if *fabricSpec == "help" || *fabricSpec == "list" {
+			fmt.Print(faults.DomainHelp())
+			return
+		}
+		fail(2, "acdcsuite: fabric plans belong in the scenario spec's Fabric field (use -fabric list for syntax)")
 	}
 
 	names := flag.Args()

@@ -19,8 +19,9 @@ import (
 // logs (a policy with β>1 fails with the Validate message, an overloaded
 // sim loop with ErrBusy's).
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	token string
+	http  *http.Client
 }
 
 // NewClient builds a client for the daemon at base (e.g.
@@ -33,11 +34,22 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: base, http: httpClient}
 }
 
+// WithToken returns a copy of the client that sends the bearer token a
+// hardened daemon (Config.AdminToken) requires on mutating endpoints.
+func (c *Client) WithToken(token string) *Client {
+	cp := *c
+	cp.token = token
+	return &cp
+}
+
 // do issues a request and decodes errors uniformly.
 func (c *Client) do(method, path string, body io.Reader) ([]byte, error) {
 	req, err := http.NewRequest(method, c.base+path, body)
 	if err != nil {
 		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

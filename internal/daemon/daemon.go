@@ -81,6 +81,17 @@ type Config struct {
 	// Faults, when non-nil and enabled, installs a deterministic fault
 	// injector on every link. Flip regimes later with SetFaultProfile.
 	Faults *faults.Profile
+	// Fabric, when non-empty, arms fabric fault domains (link/switch outages,
+	// flaps, gray loss; see faults.ParseDomains) on the service topology.
+	// Star link names are "h<i>.up"/"h<i>.down". Armed domains flip the
+	// status report and /metrics into fabric mode (extra counters appear).
+	Fabric []faults.FaultDomain
+	// AdminToken, when non-empty, requires `Authorization: Bearer <token>`
+	// on every mutating admin endpoint (the POST surface: policy, snapshot
+	// save/restore, restart). Read-only probes stay open so health checks
+	// and scrapes work unauthenticated. Empty leaves the API open —
+	// acceptable only on a loopback bind, which cmd/acdcd enforces.
+	AdminToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +165,7 @@ func New(cfg Config) *Daemon {
 		RED:    scheme.RED,
 		Seed:   cfg.Seed,
 		Faults: cfg.Faults,
+		Fabric: cfg.Fabric,
 	}
 	if cfg.AuditSample > 0 {
 		opts.Audit = &audit.Config{Sample: cfg.AuditSample}
@@ -373,14 +385,19 @@ func (d *Daemon) SetFaultProfile(p faults.Profile) error {
 // MetricsSnapshot merges every host's datapath registry into one view. Each
 // host's flow-table shape gauges (occupancy, shard max, imbalance) are
 // refreshed first so a Prometheus scrape sees the table as of this scrape,
-// not as of the last control-plane visit.
+// not as of the last control-plane visit. When fabric fault domains are
+// armed, the fabric's link-lifecycle and ECMP counters ride along, so one
+// scrape correlates injected outages with the datapath reaction.
 func (d *Daemon) MetricsSnapshot() metrics.Snapshot {
-	snaps := make([]metrics.Snapshot, 0, len(d.net.ACDC))
+	snaps := make([]metrics.Snapshot, 0, len(d.net.ACDC)+1)
 	for _, v := range d.net.ACDC {
 		if v != nil {
 			v.UpdateTableGauges()
 			snaps = append(snaps, v.Metrics.Snapshot())
 		}
+	}
+	if d.net.HasFabric() {
+		snaps = append(snaps, d.net.FabricSnapshot())
 	}
 	return metrics.Merge(snaps...)
 }
@@ -443,10 +460,18 @@ type Status struct {
 	// the highest imbalance (1000·max/mean shard length; 1000 = perfectly
 	// balanced). A climbing imbalance flags a degenerate key distribution
 	// before it shows up as tail latency.
-	TableShardMax          int    `json:"table_shard_max"`
-	TableImbalancePermille int64  `json:"table_shard_imbalance_permille"`
-	PressureSweeps         int64  `json:"pressure_sweeps"`
-	Degraded               string `json:"degraded,omitempty"`
+	TableShardMax          int   `json:"table_shard_max"`
+	TableImbalancePermille int64 `json:"table_shard_imbalance_permille"`
+	PressureSweeps         int64 `json:"pressure_sweeps"`
+	// Fabric health, present only when fault domains are armed (omitempty
+	// keeps a fabric-free daemon's status JSON unchanged): cumulative link
+	// outage events, ECMP failovers/blackholes, and gray-loss drops.
+	FabricLinkDowns  int64  `json:"fabric_link_downs,omitempty"`
+	FabricLinkUps    int64  `json:"fabric_link_ups,omitempty"`
+	FabricFailovers  int64  `json:"fabric_failovers,omitempty"`
+	FabricBlackholes int64  `json:"fabric_blackholes,omitempty"`
+	FabricGrayDrops  int64  `json:"fabric_gray_drops,omitempty"`
+	Degraded         string `json:"degraded,omitempty"`
 }
 
 // StatusNow assembles the current status. Everything it reads is
@@ -472,7 +497,7 @@ func (d *Daemon) StatusNow() Status {
 			sweeps += v.Metrics.PressureSweeps.Value()
 		}
 	}
-	return Status{
+	st := Status{
 		SimNow:         now.String(),
 		SimNowNanos:    int64(now),
 		ForgivenNanos:  int64(d.pacer.Forgiven()),
@@ -491,6 +516,15 @@ func (d *Daemon) StatusNow() Status {
 		PressureSweeps:         sweeps,
 		Degraded:               d.DegradedReason(),
 	}
+	if d.net.HasFabric() {
+		snap := d.net.FabricSnapshot()
+		st.FabricLinkDowns = snap.Counter("fabric_link_downs_total")
+		st.FabricLinkUps = snap.Counter("fabric_link_ups_total")
+		st.FabricFailovers = snap.Counter("ecmp_failovers_total")
+		st.FabricBlackholes = snap.Counter("ecmp_blackholes_total")
+		st.FabricGrayDrops = snap.Counter("fabric_gray_drops_total")
+	}
+	return st
 }
 
 // DegradedReason reports why the daemon is degraded, or "" when ready. The

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"acdc/internal/core"
+	"acdc/internal/faults"
 	"acdc/internal/sim"
 )
 
@@ -256,5 +257,128 @@ func TestStopIsIdempotentAndInterruptsLoop(t *testing.T) {
 	d.Stop() // second Stop must not panic or hang
 	if err := d.Exec(func() {}); err == nil {
 		t.Fatal("exec succeeded after Stop")
+	}
+}
+
+func TestAdminTokenGatesMutatingEndpoints(t *testing.T) {
+	d, c := startDaemon(t, Config{Workload: true, AdminToken: "sekrit"})
+	waitFor(t, "flows on host 0", func() bool {
+		return d.Net().ACDC[0].FlowCount() > 0
+	})
+	// Read-only probes stay open: health checks and scrapes need no token.
+	if err := c.Health(); err != nil {
+		t.Fatalf("healthz without token: %v", err)
+	}
+	if _, err := c.Status(); err != nil {
+		t.Fatalf("status without token: %v", err)
+	}
+	if _, err := c.Metrics(); err != nil {
+		t.Fatalf("metrics without token: %v", err)
+	}
+	// Every mutating endpoint rejects a missing token with 401.
+	for _, try := range []func() error{
+		func() error {
+			_, err := c.SendPolicies(PolicyUpdate{Host: 0, Src: "10.0.0.1", Dst: "10.0.0.2", Beta: 0.5})
+			return err
+		},
+		func() error { _, err := c.SaveSnapshot(0); return err },
+		func() error { return c.RestoreSnapshot(0, []byte("x")) },
+		func() error { return c.Restart(0, true) },
+	} {
+		err := try()
+		if err == nil || !strings.Contains(err.Error(), "401") {
+			t.Fatalf("mutating endpoint without token: %v, want 401", err)
+		}
+	}
+	// A wrong token is rejected the same way, not treated as missing-only.
+	if err := c.WithToken("wrong").Restart(0, true); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("restart with wrong token: %v, want 401", err)
+	}
+	// The right token opens the full surface.
+	ac := c.WithToken("sekrit")
+	snap, err := ac.SaveSnapshot(0)
+	if err != nil {
+		t.Fatalf("save with token: %v", err)
+	}
+	if err := ac.RestoreSnapshot(0, snap); err != nil {
+		t.Fatalf("restore with token: %v", err)
+	}
+	if err := ac.Restart(0, true); err != nil {
+		t.Fatalf("restart with token: %v", err)
+	}
+}
+
+func TestNoTokenLeavesEndpointsOpen(t *testing.T) {
+	// The loopback deployment path: no token configured, everything serves.
+	d, c := startDaemon(t, Config{Workload: true})
+	waitFor(t, "flows on host 0", func() bool {
+		return d.Net().ACDC[0].FlowCount() > 0
+	})
+	if err := c.Restart(0, true); err != nil {
+		t.Fatalf("restart on open daemon: %v", err)
+	}
+}
+
+func TestLoopbackAddr(t *testing.T) {
+	for _, tc := range []struct {
+		addr string
+		want bool
+	}{
+		{"127.0.0.1:7654", true},
+		{"127.9.3.4:80", true},
+		{"localhost:7654", true},
+		{"[::1]:7654", true},
+		{"0.0.0.0:7654", false},
+		{"10.1.2.3:7654", false},
+		{":7654", false},          // all interfaces
+		{"[::]:7654", false},      // all interfaces, v6
+		{"example.com:80", false}, // non-IP hostnames are not provably loopback
+	} {
+		if got := LoopbackAddr(tc.addr); got != tc.want {
+			t.Errorf("LoopbackAddr(%q) = %v, want %v", tc.addr, got, tc.want)
+		}
+	}
+}
+
+func TestStatusAndMetricsSurfaceFabric(t *testing.T) {
+	// Arm a finite flap on h0's uplink: the status report and the metrics
+	// scrape must grow fabric counters, which a fabric-free daemon omits.
+	doms, err := faults.ParseDomains("flap@2ms,link=h0.up,down=500us,up=1ms,count=2")
+	if err != nil {
+		t.Fatalf("ParseDomains: %v", err)
+	}
+	d, c := startDaemon(t, Config{Workload: true, Fabric: doms})
+	waitFor(t, "flap to fire", func() bool {
+		return d.StatusNow().FabricLinkDowns >= 2
+	})
+	st, err := c.Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.FabricLinkDowns < 2 || st.FabricLinkUps < 2 {
+		t.Fatalf("fabric counters in status = downs %d ups %d, want ≥2 each",
+			st.FabricLinkDowns, st.FabricLinkUps)
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{"fabric_link_downs_total", "link_down_events_total{link=h0.up}"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics scrape missing %q:\n%s", want, text)
+		}
+	}
+
+	// And the fabric-free daemon stays quiet: no fabric keys in either view.
+	d2, c2 := startDaemon(t, Config{Workload: true})
+	if st2 := d2.StatusNow(); st2.FabricLinkDowns != 0 {
+		t.Fatalf("fabric-free daemon reports fabric downs: %+v", st2)
+	}
+	text2, err := c2.Metrics()
+	if err != nil {
+		t.Fatalf("metrics (fabric-free): %v", err)
+	}
+	if strings.Contains(text2, "fabric_") || strings.Contains(text2, "link_down_events_total") {
+		t.Fatalf("fabric-free metrics scrape grew fabric keys:\n%s", text2)
 	}
 }

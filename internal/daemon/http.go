@@ -1,10 +1,12 @@
 package daemon
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -14,8 +16,9 @@ import (
 	"acdc/internal/packet"
 )
 
-// The admin API. Everything is localhost-plumbing-grade: JSON in/out, no
-// auth (bind to loopback), stable paths:
+// The admin API. Everything is localhost-plumbing-grade: JSON in/out, bind
+// to loopback (or set Config.AdminToken and bearer-auth the mutating
+// surface), stable paths:
 //
 //	GET  /healthz             liveness (200 while the process serves)
 //	GET  /readyz              readiness (503 + reason while degraded)
@@ -94,7 +97,10 @@ func (u PolicyUpdate) policy() core.Policy {
 	}
 }
 
-// Handler returns the admin API handler.
+// Handler returns the admin API handler. With Config.AdminToken set, every
+// mutating (POST) endpoint requires `Authorization: Bearer <token>`; the
+// read-only probes (health, readiness, status, metrics, flows) stay open so
+// orchestrators and scrapers work without credentials.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -105,11 +111,49 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
 	mux.HandleFunc("GET /v1/flows", d.handleFlows)
 	mux.HandleFunc("GET /v1/flows/watch", d.handleFlowsWatch)
-	mux.HandleFunc("POST /v1/policy", d.handlePolicy)
-	mux.HandleFunc("POST /v1/snapshot/save", d.handleSnapshotSave)
-	mux.HandleFunc("POST /v1/snapshot/restore", d.handleSnapshotRestore)
-	mux.HandleFunc("POST /v1/restart", d.handleRestart)
+	mux.HandleFunc("POST /v1/policy", d.requireToken(d.handlePolicy))
+	mux.HandleFunc("POST /v1/snapshot/save", d.requireToken(d.handleSnapshotSave))
+	mux.HandleFunc("POST /v1/snapshot/restore", d.requireToken(d.handleSnapshotRestore))
+	mux.HandleFunc("POST /v1/restart", d.requireToken(d.handleRestart))
 	return mux
+}
+
+// requireToken gates a mutating handler on the configured bearer token. A
+// daemon without one (loopback deployments) passes through untouched. The
+// comparison is constant-time so the token can't be guessed byte by byte
+// off response timing.
+func (d *Daemon) requireToken(h http.HandlerFunc) http.HandlerFunc {
+	if d.cfg.AdminToken == "" {
+		return h
+	}
+	want := []byte(d.cfg.AdminToken)
+	return func(w http.ResponseWriter, r *http.Request) {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="acdcd admin"`)
+			http.Error(w, "missing or invalid bearer token", http.StatusUnauthorized)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// LoopbackAddr reports whether a listen address is loopback-only. The empty
+// host ("":7654") binds every interface and is NOT loopback. cmd/acdcd uses
+// this to refuse exposing the unauthenticated admin API beyond the machine.
+func LoopbackAddr(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		host = addr // no port — treat the whole string as the host
+	}
+	if host == "" {
+		return false
+	}
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
 }
 
 func (d *Daemon) handleReady(w http.ResponseWriter, r *http.Request) {

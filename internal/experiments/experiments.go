@@ -45,6 +45,14 @@ type RunConfig struct {
 	// panic in test mode); report output is unaffected on a clean run. Nil
 	// keeps the hot path on the audit-free branch.
 	Audit *audit.Config
+	// Fabric, when non-empty, arms fabric fault domains (link/switch outages,
+	// flaps, gray loss; see faults.ParseDomains) in every topology the
+	// experiment builds. Link names are topology-specific (a dumbbell's trunk
+	// is "left>right"), so a plan written for one figure may not match
+	// another's links — Schedule panics on zero-match patterns rather than
+	// silently running a clean fabric. Empty keeps the lifecycle machinery
+	// cold and report output byte-identical.
+	Fabric []faults.FaultDomain
 }
 
 func (c RunConfig) seed() int64 {
@@ -227,6 +235,9 @@ func (s Scheme) options(cfg RunConfig, seed int64) topo.Options {
 		// seed offsets), so one -faults run replays deterministically.
 		Faults: cfg.Faults, FaultSeed: cfg.seed(),
 		Restart: cfg.Restart, Audit: cfg.Audit,
+		// FabricSeed is pinned like FaultSeed: gray-loss draws replay under
+		// per-iteration seed offsets too.
+		Fabric: cfg.Fabric, FabricSeed: cfg.seed(),
 	}
 }
 

@@ -27,7 +27,8 @@ type Telemetry struct {
 }
 
 // fleetSnapshot merges every attached vSwitch's registry into one view,
-// plus the fault injector's counters when a chaos profile is active, so
+// plus the fault injector's counters when a chaos profile is active and the
+// fabric's link-lifecycle/ECMP counters when the topology has one, so
 // injected degradation shows up next to the datapath reaction it caused.
 // ok is false when the net has no AC/DC modules (the CUBIC/DCTCP baselines)
 // or metrics are disabled on all of them.
@@ -43,6 +44,9 @@ func fleetSnapshot(net *topo.Net) (snap metrics.Snapshot, ok bool) {
 	}
 	if net.Faults != nil {
 		snaps = append(snaps, net.Faults.Registry().Snapshot())
+	}
+	if net.HasFabric() {
+		snaps = append(snaps, net.FabricSnapshot())
 	}
 	return metrics.Merge(snaps...), true
 }

@@ -36,6 +36,24 @@ func RestartHelp() string {
 	return b.String()
 }
 
+// DomainHelp renders the fabric fault-domain syntax as the shared `-fabric
+// list` output (same convention as ProfilesHelp/RestartHelp).
+func DomainHelp() string {
+	var b strings.Builder
+	b.WriteString("fabric fault domains (kind[@time][,key=val...]; join several with ';'):\n")
+	b.WriteString("  link-down    take matching links down for `for` (default 100us)\n")
+	b.WriteString("  switch-down  take every link touching switch=<name> down for `for`\n")
+	b.WriteString("  flap         cycle matching links: down=<dur>, up=<dur>, count=<n>\n")
+	b.WriteString("  gray         link stays up, silently drops loss=<frac> and delays delay=<dur>\n")
+	b.WriteString("keys: link=<name|prefix*>, switch=<name>, for=<dur>, down=<dur>, up=<dur>,\n")
+	b.WriteString("      count=<n>, loss=<0..1>, delay=<dur>\n")
+	b.WriteString("examples:\n")
+	b.WriteString("  switch-down@5ms,switch=p1-tor0,for=5ms\n")
+	b.WriteString("  flap@1ms,link=p0-agg0>core0,down=500us,up=2ms,count=5\n")
+	b.WriteString("  gray@1ms,link=core1>p2-agg0,loss=0.02;link-down@4ms,link=p3-agg1>core3\n")
+	return b.String()
+}
+
 // Nearest returns the candidate most plausibly meant by a mistyped name: the
 // smallest edit distance at most 2, with prefix matches accepted at any
 // length ("heavy" → "heavy-loss"). It returns "" when nothing is close —

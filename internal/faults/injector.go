@@ -97,10 +97,12 @@ func (in *Injector) Hook(l *netsim.Link, p *packet.Packet, deliver func(q *packe
 	prof := &in.prof
 
 	if prof.DropFeedback > 0 && in.dropFeedback(p) {
+		consume(l, p)
 		return
 	}
 	if prof.Drop > 0 && in.rng.Float64() < prof.Drop {
 		in.drops.Inc()
+		consume(l, p)
 		return
 	}
 	if prof.Corrupt > 0 && in.rng.Float64() < prof.Corrupt {
@@ -127,6 +129,18 @@ func (in *Injector) Hook(l *netsim.Link, p *packet.Packet, deliver func(q *packe
 		}
 	}
 	deliver(p, extra)
+}
+
+// consume accounts a hook-dropped packet against the link and returns its
+// buffer to the pool — the hook is the packet's sole owner at this point.
+// l is nil only when unit tests drive a hook directly; then the packet just
+// falls to the garbage collector.
+func consume(l *netsim.Link, p *packet.Packet) {
+	if l == nil {
+		return
+	}
+	l.Stats.DropsFault++
+	l.Pool.Put(p)
 }
 
 // dropFeedback kills AC/DC's congestion-feedback channel only: dedicated

@@ -52,13 +52,20 @@ type QueuePolicy interface {
 	OnDequeue(l *Link, p *packet.Packet)
 }
 
-// LinkStats counts link-level events.
+// LinkStats counts link-level events. Drops are split by reason so fabric
+// telemetry can tell queue pressure (Drops: admission/WRED rejects) from
+// injected faults (DropsFault) from lifecycle loss (DropsDown: sends refused
+// and queued packets discarded while the link is down).
 type LinkStats struct {
 	SentPackets    int64
 	SentBytes      int64
-	Drops          int64
+	Drops          int64 // queue-policy rejects (overflow / WRED)
 	DropsNonECT    int64 // drops of Not-ECT packets by the marking policy
+	DropsFault     int64 // packets consumed by the fault hook (loss, gray failure)
+	DropsDown      int64 // packets refused or discarded because the link was down
 	Marks          int64 // CE marks applied by the policy
+	DownEvents     int64 // Down() transitions
+	UpEvents       int64 // Up() transitions
 	MaxQueueBytes  int
 	EnquedPackets  int64
 	QueueByteTicks float64 // integral of queue bytes over time (for avg occupancy)
@@ -83,9 +90,15 @@ type Link struct {
 	Fault FaultHook
 
 	// OnTxDone, when set, is called as each packet finishes serialization
-	// (the NIC tx-completion interrupt). TCP stacks use it for TSQ-style
-	// backpressure on the host NIC.
+	// (the NIC tx-completion interrupt) — and for each queued packet a
+	// Down() discards, because TSQ budget must be credited for packets
+	// "dropped before the wire" exactly like tcpstack's host drop path.
 	OnTxDone func(p *packet.Packet)
+
+	// Pool, when set, receives ownership of packets the link discards
+	// internally (the serialization queue cleared by Down). Without it those
+	// packets leak from the free-list's perspective.
+	Pool *packet.Pool
 
 	Stats LinkStats
 
@@ -98,6 +111,8 @@ type Link struct {
 	flight     pktRing
 	queueBytes int
 	busy       bool
+	down       bool
+	txEv       *sim.Event // pending tx completion; cancelled by Down
 
 	txDoneF   func()
 	deliverF  func()
@@ -164,9 +179,13 @@ func (l *Link) TxTime(n int) sim.Duration {
 	return sim.Duration(int64(n) * 8 * int64(sim.Second) / l.Rate)
 }
 
-// Send offers a packet to the link. It returns false if the queue policy
-// dropped it (the packet is then owned by the caller).
+// Send offers a packet to the link. It returns false if the link is down or
+// the queue policy dropped it (the packet is then owned by the caller).
 func (l *Link) Send(p *packet.Packet) bool {
+	if l.down {
+		l.Stats.DropsDown++
+		return false
+	}
 	if l.Policy != nil && !l.Policy.OnEnqueue(l, p) {
 		l.Stats.Drops++
 		if p.IP().ECN() == packet.NotECT {
@@ -191,16 +210,18 @@ func (l *Link) Send(p *packet.Packet) bool {
 func (l *Link) startNext() {
 	if l.queue.len() == 0 {
 		l.busy = false
+		l.txEv = nil
 		return
 	}
 	l.busy = true
 	tx := l.TxTime(l.queue.peek().WireLen())
-	l.Sim.ScheduleFunc(tx, l.txDoneF)
+	l.txEv = l.Sim.Schedule(tx, l.txDoneF)
 }
 
 // txDone completes serialization of the queue head (the serializer is
 // strictly FIFO, so the head is always the packet whose tx timer fired).
 func (l *Link) txDone() {
+	l.txEv = nil // fired; never Cancel a consumed handle (it may be recycled)
 	l.accumQueueTicks()
 	p := l.queue.pop()
 	l.queueBytes -= p.WireLen()
@@ -248,6 +269,57 @@ func (l *Link) deliverHead() {
 	}
 	l.dstBatch.HandleBatch(l.batchBuf)
 	clear(l.batchBuf)
+}
+
+// IsDown reports whether the link is administratively down.
+func (l *Link) IsDown() bool { return l.down }
+
+// Down takes the link out of service: the pending serialization timer is
+// cancelled, every queued packet is discarded with full accounting (buffer
+// bytes released via the queue policy, TSQ budget credited via OnTxDone,
+// ownership returned to Pool), and subsequent Sends are refused until Up.
+// Packets already past serialization (in the flight ring, or re-scheduled by
+// a fault hook) are on the wire and still deliver — a failing link loses
+// what it was holding, not what it already transmitted. Idempotent.
+func (l *Link) Down() {
+	if l.down {
+		return
+	}
+	l.down = true
+	l.Stats.DownEvents++
+	l.accumQueueTicks()
+	if l.txEv != nil {
+		l.Sim.Cancel(l.txEv)
+		l.txEv = nil
+	}
+	l.busy = false
+	for l.queue.len() > 0 {
+		p := l.queue.pop()
+		l.queueBytes -= p.WireLen()
+		l.Stats.DropsDown++
+		if l.Policy != nil {
+			l.Policy.OnDequeue(l, p)
+		}
+		if l.OnTxDone != nil {
+			l.OnTxDone(p)
+		}
+		l.Pool.Put(p)
+	}
+}
+
+// Up returns the link to service. The queue is necessarily empty (Down
+// cleared it and Send refused everything since), so the serializer restarts
+// on the next Send. Idempotent.
+func (l *Link) Up() {
+	if !l.down {
+		return
+	}
+	l.down = false
+	l.Stats.UpEvents++
+	l.accumQueueTicks()
+	if !l.busy {
+		l.startNext()
+	}
 }
 
 // faultDeliver is the deliver callback handed to FaultHooks; jitter (extra)

@@ -9,9 +9,12 @@ import (
 
 // SwitchStats aggregates forwarding counters.
 type SwitchStats struct {
-	Forwarded int64
-	NoRoute   int64
-	TTLDrops  int64
+	Forwarded     int64
+	NoRoute       int64
+	TTLDrops      int64
+	EcmpForwarded int64 // packets steered by ECMP hash (no exact route matched)
+	EcmpFailovers int64 // hash picked a down port and the pick was re-hashed to a live one
+	Blackholes    int64 // every port in the matching ECMP group was down (packet dropped)
 }
 
 // Switch is an output-queued L3 switch: packets are routed by destination
@@ -30,8 +33,21 @@ type Switch struct {
 	// nil degrades to garbage collection.
 	Pool *packet.Pool
 
+	// EcmpSeed perturbs the 5-tuple hash so different runs (and different
+	// switches, if desired) spread flows differently while any one run
+	// replays deterministically. Zero is a valid seed.
+	EcmpSeed uint64
+
 	ports  []*Link
 	routes map[packet.Addr]int
+
+	// ecmp maps a destination to an equal-cost port group consulted when no
+	// exact route matches; defaultEcmp is the fallback group for destinations
+	// with neither (a fat-tree ToR's "everything remote goes up" rule).
+	// Lookup order: routes → ecmp → defaultEcmp → NoRoute drop.
+	ecmp        map[packet.Addr][]int
+	defaultEcmp []int
+	liveBuf     []int // scratch for failover re-hash; avoids per-packet allocs
 }
 
 // NewSwitch creates a switch with a shared buffer pool (nil = infinite).
@@ -62,6 +78,89 @@ func (sw *Switch) AddRoute(dst packet.Addr, port int) {
 	sw.routes[dst] = port
 }
 
+// AddEcmpRoute directs packets for dst over an equal-cost group of ports,
+// selected per packet by the seeded 5-tuple hash. An exact AddRoute for the
+// same destination takes precedence.
+func (sw *Switch) AddEcmpRoute(dst packet.Addr, ports ...int) {
+	sw.checkGroup(ports)
+	if sw.ecmp == nil {
+		sw.ecmp = make(map[packet.Addr][]int)
+	}
+	sw.ecmp[dst] = append([]int(nil), ports...)
+}
+
+// SetDefaultEcmp installs the fallback equal-cost group used for any
+// destination with no exact or per-destination ECMP route — the fat-tree
+// "default route points up" rule.
+func (sw *Switch) SetDefaultEcmp(ports ...int) {
+	sw.checkGroup(ports)
+	sw.defaultEcmp = append([]int(nil), ports...)
+}
+
+func (sw *Switch) checkGroup(ports []int) {
+	if len(ports) == 0 {
+		panic(fmt.Sprintf("netsim: switch %s: empty ECMP group", sw.Name))
+	}
+	for _, port := range ports {
+		if port < 0 || port >= len(sw.ports) {
+			panic(fmt.Sprintf("netsim: switch %s: ECMP route to invalid port %d", sw.Name, port))
+		}
+	}
+}
+
+// ecmpMix64 is the splitmix64 finalizer: full-avalanche, so every input bit
+// affects every output bit — in particular the low bits used for modulo port
+// selection (the property PR 8's shardIndex lacked).
+func ecmpMix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// EcmpHash is the seeded 5-tuple flow hash used for ECMP port selection.
+// It is a pure function of (seed, 5-tuple), so a flow stays on one path for
+// its lifetime and replays land on the same path for the same seed.
+func EcmpHash(seed uint64, src, dst packet.Addr, sport, dport uint16, proto uint8) uint64 {
+	a := uint64(src)<<32 | uint64(dst)
+	b := uint64(sport)<<32 | uint64(dport)<<16 | uint64(proto)
+	return ecmpMix64(ecmpMix64(a^seed) ^ b)
+}
+
+// ecmpSelect picks a port from group for packet ip. If the hashed pick is
+// down it deterministically re-hashes over the live members (EcmpFailovers);
+// ok is false when every member is down (the caller counts a blackhole).
+func (sw *Switch) ecmpSelect(group []int, ip packet.IPv4) (port int, ok bool) {
+	var sport, dport uint16
+	proto := ip.Protocol()
+	if proto == packet.ProtoTCP || proto == packet.ProtoUDP {
+		// TCP and UDP both lead with source then destination port.
+		if pay := ip.Payload(); len(pay) >= 4 {
+			sport = uint16(pay[0])<<8 | uint16(pay[1])
+			dport = uint16(pay[2])<<8 | uint16(pay[3])
+		}
+	}
+	h := EcmpHash(sw.EcmpSeed, ip.Src(), ip.Dst(), sport, dport, proto)
+	port = group[h%uint64(len(group))]
+	if !sw.ports[port].IsDown() {
+		return port, true
+	}
+	live := sw.liveBuf[:0]
+	for _, q := range group {
+		if !sw.ports[q].IsDown() {
+			live = append(live, q)
+		}
+	}
+	sw.liveBuf = live[:0]
+	if len(live) == 0 {
+		return 0, false
+	}
+	sw.Stats.EcmpFailovers++
+	return live[h%uint64(len(live))], true
+}
+
 // HandlePacket implements Handler: route and enqueue on the egress port.
 func (sw *Switch) HandlePacket(p *packet.Packet) {
 	ip := p.IP()
@@ -72,9 +171,21 @@ func (sw *Switch) HandlePacket(p *packet.Packet) {
 	}
 	port, ok := sw.routes[ip.Dst()]
 	if !ok {
-		sw.Stats.NoRoute++
-		sw.Pool.Put(p)
-		return
+		group := sw.ecmp[ip.Dst()]
+		if group == nil {
+			group = sw.defaultEcmp
+		}
+		if len(group) == 0 {
+			sw.Stats.NoRoute++
+			sw.Pool.Put(p)
+			return
+		}
+		if port, ok = sw.ecmpSelect(group, ip); !ok {
+			sw.Stats.Blackholes++
+			sw.Pool.Put(p)
+			return
+		}
+		sw.Stats.EcmpForwarded++
 	}
 	if !ip.DecTTL() {
 		sw.Stats.TTLDrops++

@@ -96,6 +96,8 @@ func Tolerance(metric string) (abs, rel float64) {
 		return 0.02, 0.25
 	case strings.HasPrefix(metric, "ctr_"):
 		return 2, 0.35
+	case strings.HasPrefix(metric, "fabric_"):
+		return 2, 0.35
 	case strings.HasSuffix(metric, "_n") || metric == "flash_waves",
 		strings.HasPrefix(metric, "churn_"):
 		return 2, 0.25

@@ -20,8 +20,9 @@ func d(v sim.Duration) Duration { return Duration(v) }
 //
 // The catalog deliberately spans the paper's figures (dumbbell, incast,
 // concurrent stride) and the regimes the figures skip: degraded fabrics,
-// lost feedback, vSwitch restarts mid-traffic, multi-tenant churn, and flash
-// crowds.
+// lost feedback, vSwitch restarts mid-traffic, multi-tenant churn, flash
+// crowds, and k-ary fat-trees under ECMP with link failures, flaps, and
+// gray loss.
 func Catalog() []Spec {
 	return []Spec{
 		{
@@ -227,6 +228,110 @@ func Catalog() []Spec {
 				Workloads: []WorkloadSpec{
 					{Kind: "flash-crowd", Senders: 4},
 					{Kind: "prober", From: 5, To: 4},
+				},
+			},
+		},
+		{
+			Name:  "fabric-incast",
+			Title: "Cross-pod 12:1 incast converging on one fat-tree ToR downlink",
+			Paper: "beyond the figures: §5.2's incast pattern at fabric scale (k=4 fat-tree)",
+			Topo:  TopoSpec{Kind: "fattree", K: 4},
+			Workloads: []WorkloadSpec{
+				{Kind: "incast", Senders: 12},
+				{Kind: "prober", From: 15, To: 12},
+			},
+			MinRwndBytes: (9000 - 40) / 2,
+			Audit:        true,
+			Warmup:       d(10 * sim.Millisecond),
+			Measure:      d(30 * sim.Millisecond),
+			Checks: []Check{
+				{Metric: "rtt_n", Min: fp(1)},
+				{Scheme: "acdc", Metric: "fairness", Min: fp(0.8)},
+				{Scheme: "acdc", Metric: "audit_violations", Max: fp(0)},
+				// A clean fabric must stay clean: no failure-path counters.
+				{Metric: "fabric_link_downs", Max: fp(0)},
+				{Metric: "fabric_blackholes", Max: fp(0)},
+			},
+			Smoke: &Adjust{
+				Warmup: d(5 * sim.Millisecond), Measure: d(10 * sim.Millisecond),
+				Workloads: []WorkloadSpec{
+					{Kind: "incast", Senders: 6},
+					{Kind: "prober", From: 15, To: 6},
+				},
+			},
+		},
+		{
+			Name:  "ecmp-imbalance",
+			Title: "Concurrent stride across all four pods: ECMP hash spread under load",
+			Paper: "beyond the figures: §2's multi-path fabrics, where hash imbalance skews enforcement",
+			Topo:  TopoSpec{Kind: "fattree", K: 4},
+			Workloads: []WorkloadSpec{
+				{Kind: "stride"},
+			},
+			Audit:   true,
+			Warmup:  d(10 * sim.Millisecond),
+			Measure: d(30 * sim.Millisecond),
+			Checks: []Check{
+				{Metric: "mice_n", Min: fp(20)},
+				{Metric: "bg_n", Min: fp(1)},
+				{Scheme: "acdc", Metric: "audit_violations", Max: fp(0)},
+				{Metric: "fabric_blackholes", Max: fp(0)},
+			},
+			Smoke: &Adjust{
+				Warmup: d(5 * sim.Millisecond), Measure: d(10 * sim.Millisecond),
+				Workloads: []WorkloadSpec{
+					{Kind: "stride", Bytes: 2 << 20},
+				},
+			},
+		},
+		{
+			Name:  "tor-failure",
+			Title: "ToR dies mid-transfer while a core uplink flaps: ECMP must fail over",
+			Paper: "beyond the figures: enforcement surviving the fabric's own fault domains",
+			Topo:  TopoSpec{Kind: "fattree", K: 4},
+			Workloads: []WorkloadSpec{
+				{Kind: "stride"},
+			},
+			Fabric:  "switch-down@25ms,switch=p3-tor1,for=5ms;flap@15ms,link=p0-agg0>core0,down=300us,up=2ms,count=3",
+			Audit:   true,
+			Warmup:  d(10 * sim.Millisecond),
+			Measure: d(40 * sim.Millisecond),
+			Checks: []Check{
+				{Metric: "mice_n", Min: fp(10)},
+				{Metric: "fabric_failovers", Min: fp(1)},
+				// switch-down severs all 8 of p3-tor1's links + 3 flap edges.
+				{Metric: "fabric_link_downs", Min: fp(4)},
+				{Scheme: "acdc", Metric: "audit_violations", Max: fp(0)},
+			},
+			Smoke: &Adjust{
+				Warmup: d(5 * sim.Millisecond), Measure: d(20 * sim.Millisecond),
+				Fabric: "switch-down@10ms,switch=p3-tor1,for=2ms;flap@6ms,link=p0-agg0>core0,down=200us,up=1ms,count=3",
+			},
+		},
+		{
+			Name:  "gray-spine",
+			Title: "Silent 2% gray loss on every core0 downlink for most of the run",
+			Paper: "beyond the figures: gray failures the fabric never reports",
+			Topo:  TopoSpec{Kind: "fattree", K: 4},
+			Workloads: []WorkloadSpec{
+				{Kind: "stride"},
+				{Kind: "prober", From: 0, To: 12},
+			},
+			Fabric:  "gray@10ms,link=core0>*,loss=0.02,for=35ms",
+			Audit:   true,
+			Warmup:  d(10 * sim.Millisecond),
+			Measure: d(30 * sim.Millisecond),
+			Checks: []Check{
+				{Metric: "fabric_gray_drops", Min: fp(1)},
+				{Metric: "mice_n", Min: fp(10)},
+				{Scheme: "acdc", Metric: "audit_violations", Max: fp(0)},
+			},
+			Smoke: &Adjust{
+				Warmup: d(5 * sim.Millisecond), Measure: d(10 * sim.Millisecond),
+				Fabric: "gray@5ms,link=core0>*,loss=0.02,for=8ms",
+				Workloads: []WorkloadSpec{
+					{Kind: "stride", Bytes: 2 << 20},
+					{Kind: "prober", From: 0, To: 12},
 				},
 			},
 		},

@@ -233,6 +233,9 @@ func runTrial(s Spec, schemeKey string, seed int64) (map[string]float64, metrics
 		p, _ := faults.ParseRestart(s.Restart)
 		opts.Restart = &p
 	}
+	if s.Fabric != "" {
+		opts.Fabric, _ = faults.ParseDomains(s.Fabric) // validated upfront
+	}
 	if s.Audit {
 		opts.Audit = &audit.Config{MaxLog: 8}
 	}
@@ -243,6 +246,8 @@ func runTrial(s Spec, schemeKey string, seed int64) (map[string]float64, metrics
 		st.net = topo.Dumbbell(s.Topo.Hosts, opts)
 	case "parkinglot":
 		st.net = topo.ParkingLot(opts)
+	case "fattree":
+		st.net = topo.FatTree(topo.FatTreeConfig{K: s.Topo.K, HostsPerTor: s.Topo.HostsPerTor}, opts)
 	default:
 		st.net = topo.Star(s.Topo.Hosts, opts)
 	}
@@ -429,6 +434,21 @@ var headlineCounters = []string{
 	"fault_feedback_strips_total",
 }
 
+// fabricCounters map fabric_* metric keys onto FabricSnapshot counter names.
+// Emitted (with zeros for counters that never fired) only on fabrics —
+// multi-path topologies or single-path ones with armed fault domains — so
+// classic scenarios keep their exact pre-fabric metric namespace.
+var fabricCounters = [][2]string{
+	{"fabric_link_downs", "fabric_link_downs_total"},
+	{"fabric_link_ups", "fabric_link_ups_total"},
+	{"fabric_failovers", "ecmp_failovers_total"},
+	{"fabric_blackholes", "ecmp_blackholes_total"},
+	{"fabric_gray_drops", "fabric_gray_drops_total"},
+	{"fabric_drops_queue", "link_drops_total{reason=queue}"},
+	{"fabric_drops_fault", "link_drops_total{reason=fault}"},
+	{"fabric_drops_down", "link_drops_total{reason=down}"},
+}
+
 // collect derives the trial's metric map and fleet snapshot.
 func (st *trialState) collect(s Spec, start []int64) (map[string]float64, metrics.Snapshot) {
 	out := map[string]float64{}
@@ -511,6 +531,13 @@ func (st *trialState) collect(s Spec, start []int64) (map[string]float64, metric
 		for _, name := range headlineCounters {
 			out["ctr_"+name] = float64(snap.Counter(name))
 		}
+	}
+	if st.net.HasFabric() {
+		fsnap := st.net.FabricSnapshot()
+		for _, kv := range fabricCounters {
+			out[kv[0]] = float64(fsnap.Counter(kv[1]))
+		}
+		snap = metrics.Merge(snap, fsnap)
 	}
 	return out, snap
 }

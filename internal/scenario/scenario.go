@@ -10,6 +10,7 @@ import (
 	"acdc/internal/core"
 	"acdc/internal/faults"
 	"acdc/internal/sim"
+	"acdc/internal/topo"
 )
 
 // Duration is a sim.Duration that marshals to/from human-readable strings
@@ -49,11 +50,17 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 // the internal/topo builders; link/buffer fields of zero take the paper's
 // testbed defaults (10 Gbps, 5µs, 9MB shared buffer).
 type TopoSpec struct {
-	// Kind is "star", "dumbbell", or "parkinglot".
+	// Kind is "star", "dumbbell", "parkinglot", or "fattree".
 	Kind string `json:"kind"`
 	// Hosts is the star's host count or the dumbbell's sender/receiver pair
-	// count; ignored for the fixed-shape parking lot.
+	// count; ignored for the fixed-shape parking lot and for fat-trees
+	// (whose host count follows from K and HostsPerTor).
 	Hosts int `json:"hosts,omitempty"`
+	// K is the fat-tree arity (even, default 4); fattree only.
+	K int `json:"k,omitempty"`
+	// HostsPerTor oversubscribes each fat-tree ToR (default K/2, the
+	// rearrangeably non-blocking shape); fattree only.
+	HostsPerTor int `json:"hosts_per_tor,omitempty"`
 	// LinkRate overrides every link's rate in bits/sec.
 	LinkRate int64 `json:"link_rate,omitempty"`
 	// LinkDelay overrides the per-link one-way propagation delay.
@@ -193,6 +200,9 @@ type Adjust struct {
 	// Workloads, when non-empty, replaces the workload list wholesale (for
 	// scaling element fan-ins along with the host count).
 	Workloads []WorkloadSpec `json:"workloads,omitempty"`
+	// Fabric, when non-empty, replaces the fabric fault-domain plan (fault
+	// times usually need rescaling along with the warmup/measure windows).
+	Fabric string `json:"fabric,omitempty"`
 	// Policies, when non-empty, replaces the policy list wholesale (host
 	// matchers usually need rescaling along with the host count).
 	Policies []PolicySpec `json:"policies,omitempty"`
@@ -231,6 +241,11 @@ type Spec struct {
 	// Restart is a vSwitch restart plan in faults.ParseRestart syntax
 	// ("warm@1ms,every=5ms"); empty leaves the restart machinery cold.
 	Restart string `json:"restart,omitempty"`
+	// Fabric is a fabric fault-domain plan in faults.ParseDomains syntax
+	// ("switch-down@25ms,switch=p3-tor1,for=5ms"); empty leaves the link
+	// lifecycle machinery cold. Times are absolute simulation times, so plans
+	// are written against the warmup+measure window.
+	Fabric string `json:"fabric,omitempty"`
 	// Audit, when true, attaches the invariant auditor (internal/audit) to
 	// every AC/DC vSwitch and exports audit_violations as a metric.
 	Audit bool `json:"audit,omitempty"`
@@ -300,6 +315,9 @@ func (s Spec) ForSmoke() Spec {
 	if len(a.Policies) > 0 {
 		s.Policies = a.Policies
 	}
+	if a.Fabric != "" {
+		s.Fabric = a.Fabric
+	}
 	return s
 }
 
@@ -345,6 +363,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %s: %v", s.Name, err)
 		}
 	}
+	if s.Fabric != "" {
+		if _, err := faults.ParseDomains(s.Fabric); err != nil {
+			return fmt.Errorf("scenario %s: %v", s.Name, err)
+		}
+	}
 	for _, c := range s.Checks {
 		if c.Metric == "" {
 			return fmt.Errorf("scenario %s: check without a metric", s.Name)
@@ -381,8 +404,17 @@ func (s Spec) hostCount() (int, error) {
 		return 2 * s.Topo.Hosts, nil
 	case "parkinglot":
 		return 6, nil // fixed shape: 1 receiver + 5 senders
+	case "fattree":
+		cfg := topo.FatTreeConfig{K: s.Topo.K, HostsPerTor: s.Topo.HostsPerTor}
+		if k := s.Topo.K; k != 0 && (k < 2 || k%2 != 0) {
+			return 0, fmt.Errorf("fattree K must be even and ≥ 2, have %d", k)
+		}
+		if s.Topo.HostsPerTor < 0 {
+			return 0, fmt.Errorf("fattree hosts_per_tor must be ≥ 0, have %d", s.Topo.HostsPerTor)
+		}
+		return cfg.Hosts(), nil
 	default:
-		return 0, fmt.Errorf("unknown topo kind %q (want star, dumbbell, parkinglot)", s.Topo.Kind)
+		return 0, fmt.Errorf("unknown topo kind %q (want star, dumbbell, parkinglot, fattree)", s.Topo.Kind)
 	}
 }
 

@@ -54,7 +54,8 @@ func TestCatalogValidates(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"baseline", "incast-heavy", "high-load", "degraded-latency",
-		"lossy-link", "feedback-blackout", "rolling-restart", "mixed-tenant"} {
+		"lossy-link", "feedback-blackout", "rolling-restart", "mixed-tenant",
+		"fabric-incast", "ecmp-imbalance", "tor-failure", "gray-spine"} {
 		if !names[want] {
 			t.Errorf("catalog missing required scenario %s", want)
 		}
@@ -76,6 +77,10 @@ func TestValidateRejects(t *testing.T) {
 		{"prober-self", func(s *Spec) { s.Workloads[1].To = 0 }},
 		{"bad-faults", func(s *Spec) { s.Faults = "gremlins" }},
 		{"bad-restart", func(s *Spec) { s.Restart = "hot@never" }},
+		{"bad-fabric", func(s *Spec) { s.Fabric = "meteor,link=x" }},
+		{"bad-smoke-fabric", func(s *Spec) { s.Smoke = &Adjust{Fabric: "gray,loss=0.5"} }},
+		{"fattree-odd-k", func(s *Spec) { s.Topo = TopoSpec{Kind: "fattree", K: 3} }},
+		{"fattree-neg-hpt", func(s *Spec) { s.Topo = TopoSpec{Kind: "fattree", K: 4, HostsPerTor: -1} }},
 		{"check-no-metric", func(s *Spec) { s.Checks = []Check{{Min: fp(1)}} }},
 		{"check-wrong-scheme", func(s *Spec) { s.Checks = []Check{{Scheme: "dctcp", Metric: "x"}} }},
 		{"check-inverted", func(s *Spec) { s.Checks = []Check{{Metric: "x", Min: fp(2), Max: fp(1)}} }},
@@ -415,6 +420,7 @@ func TestToleranceBands(t *testing.T) {
 		{"rtt_p999_ms", 0.05, 0.60},
 		{"mice_p50_ms", 0.02, 0.25},
 		{"ctr_rwnd_rewrites_total", 2, 0.35},
+		{"fabric_failovers", 2, 0.35},
 		{"rtt_n", 2, 0.25},
 		{"churn_departures", 2, 0.25},
 		{"something_else", 0.01, 0.25},

@@ -1,0 +1,298 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+
+	"acdc/internal/faults"
+	"acdc/internal/packet"
+	"acdc/internal/sim"
+)
+
+type sink struct{ got []*packet.Packet }
+
+func (k *sink) HandlePacket(p *packet.Packet) { k.got = append(k.got, p) }
+
+func TestFatTreeShape(t *testing.T) {
+	for _, tc := range []struct {
+		k, hpt                 int
+		hosts, switches, links int
+	}{
+		// k=4: 4 cores + 8 ToR + 8 agg = 20 switches; 16 hosts;
+		// links = 2 per host + 2*16 pod trunks + 2*16 core trunks = 96.
+		{4, 0, 16, 20, 96},
+		// Oversubscribed 4:2 at the ToR: double the hosts, same fabric.
+		{4, 4, 32, 20, 128},
+		// k=6: 9 cores + 18+18 = 45 switches; 54 hosts;
+		// trunks: 2*(6*9) pod + 2*(6*9) core = 216; links = 108+216.
+		{6, 0, 54, 45, 324},
+	} {
+		cfg := FatTreeConfig{K: tc.k, HostsPerTor: tc.hpt}
+		if got := cfg.Hosts(); got != tc.hosts {
+			t.Fatalf("k=%d hpt=%d: Hosts() = %d, want %d", tc.k, tc.hpt, got, tc.hosts)
+		}
+		net := FatTree(cfg, Options{})
+		if len(net.Hosts) != tc.hosts {
+			t.Fatalf("k=%d: built %d hosts, want %d", tc.k, len(net.Hosts), tc.hosts)
+		}
+		if len(net.Switches) != tc.switches {
+			t.Fatalf("k=%d: built %d switches, want %d", tc.k, len(net.Switches), tc.switches)
+		}
+		if len(net.Links) != tc.links {
+			t.Fatalf("k=%d: built %d links, want %d", tc.k, len(net.Links), tc.links)
+		}
+		if !net.HasFabric() {
+			t.Fatal("fat-tree does not report HasFabric")
+		}
+	}
+}
+
+func TestFatTreeRejectsOddK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for odd K")
+		}
+	}()
+	FatTree(FatTreeConfig{K: 3}, Options{})
+}
+
+// sendRaw injects a routed packet at host from's NIC toward host to and
+// returns it for further use; callers drain the sim and inspect sinks.
+func sendRaw(n *Net, from, to, sport int) {
+	p := packet.BuildIn(n.Pool, n.Addr(from), n.Addr(to), packet.ECT0,
+		packet.TCPFields{SrcPort: uint16(sport), DstPort: 80, Flags: packet.FlagACK, Window: 100}, 100)
+	n.Hosts[from].Output(p)
+}
+
+// TestFatTreeAllPairsConnectivity: every host can reach every other host
+// through the static routes + default ECMP groups.
+func TestFatTreeAllPairsConnectivity(t *testing.T) {
+	net := FatTree(FatTreeConfig{K: 4}, Options{})
+	sinks := make([]*sink, len(net.Hosts))
+	for i, h := range net.Hosts {
+		sinks[i] = &sink{}
+		h.Demux = sinks[i]
+	}
+	want := make([]int, len(net.Hosts))
+	for i := range net.Hosts {
+		for j := range net.Hosts {
+			if i == j {
+				continue
+			}
+			sendRaw(net, i, j, 5000+i)
+			want[j]++
+		}
+	}
+	net.Sim.RunAll()
+	for j, k := range sinks {
+		if len(k.got) != want[j] {
+			t.Fatalf("host %d received %d packets, want %d", j, len(k.got), want[j])
+		}
+		for _, p := range k.got {
+			net.Pool.Put(p)
+		}
+	}
+	for _, sw := range net.Switches {
+		if sw.Stats.NoRoute != 0 || sw.Stats.Blackholes != 0 {
+			t.Fatalf("switch %s: NoRoute=%d Blackholes=%d on a healthy fabric",
+				sw.Name, sw.Stats.NoRoute, sw.Stats.Blackholes)
+		}
+	}
+}
+
+// TestFatTreeEcmpSpreadsUplinks: many distinct cross-pod flows must use
+// more than one ToR uplink and more than one core switch.
+func TestFatTreeEcmpSpreadsUplinks(t *testing.T) {
+	cfg := FatTreeConfig{K: 4}
+	net := FatTree(cfg, Options{})
+	for i, h := range net.Hosts {
+		_ = i
+		h.Demux = &sink{}
+	}
+	src := cfg.HostIndex(0, 0, 0)
+	dst := cfg.HostIndex(2, 1, 1)
+	for f := 0; f < 64; f++ {
+		sendRaw(net, src, dst, 4000+f)
+	}
+	net.Sim.RunAll()
+	uplinks := net.LinksMatching("p0-tor0>*")
+	if len(uplinks) != 2 {
+		t.Fatalf("ToR uplink pattern matched %d links, want 2", len(uplinks))
+	}
+	for _, l := range uplinks {
+		if l.Stats.SentPackets == 0 {
+			t.Fatalf("uplink %s unused across 64 flows — ECMP not spreading", l.Name)
+		}
+	}
+	var coresUsed int
+	for _, sw := range net.Switches {
+		if len(sw.Name) > 4 && sw.Name[:4] == "core" && sw.Stats.Forwarded > 0 {
+			coresUsed++
+		}
+	}
+	if coresUsed < 2 {
+		t.Fatalf("only %d cores carried traffic across 64 flows", coresUsed)
+	}
+}
+
+// TestFatTreeDeterministicReplay: the same seed builds a fabric whose path
+// choices are byte-for-byte repeatable (per-link packet counts identical);
+// a different seed spreads differently.
+func TestFatTreeDeterministicReplay(t *testing.T) {
+	run := func(seed int64) map[string]int64 {
+		cfg := FatTreeConfig{K: 4}
+		net := FatTree(cfg, Options{Seed: seed})
+		for _, h := range net.Hosts {
+			h.Demux = &sink{}
+		}
+		for f := 0; f < 32; f++ {
+			sendRaw(net, 0, 12, 4000+f)
+		}
+		net.Sim.RunAll()
+		out := map[string]int64{}
+		for _, l := range net.Links {
+			out[l.Name] = l.Stats.SentPackets
+		}
+		return out
+	}
+	a, b := run(1), run(1)
+	for name, v := range a {
+		if b[name] != v {
+			t.Fatalf("replay diverged on %s: %d vs %d", name, v, b[name])
+		}
+	}
+	c := run(2)
+	same := true
+	for name, v := range a {
+		if c[name] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed change left every per-link count identical — seed not feeding the hash")
+	}
+}
+
+func TestLeafSpineShapeAndConnectivity(t *testing.T) {
+	net := LeafSpine(3, 2, 2, Options{})
+	if len(net.Hosts) != 6 || len(net.Switches) != 5 {
+		t.Fatalf("leaf-spine built %d hosts / %d switches", len(net.Hosts), len(net.Switches))
+	}
+	sinks := make([]*sink, len(net.Hosts))
+	for i, h := range net.Hosts {
+		sinks[i] = &sink{}
+		h.Demux = sinks[i]
+	}
+	for i := range net.Hosts {
+		for j := range net.Hosts {
+			if i != j {
+				sendRaw(net, i, j, 5000+i)
+			}
+		}
+	}
+	net.Sim.RunAll()
+	for j, k := range sinks {
+		if len(k.got) != len(net.Hosts)-1 {
+			t.Fatalf("host %d received %d, want %d", j, len(k.got), len(net.Hosts)-1)
+		}
+	}
+}
+
+func TestLinksMatchingAndSwitchLinks(t *testing.T) {
+	net := FatTree(FatTreeConfig{K: 4}, Options{})
+	if got := net.LinksMatching("p0-tor0>p0-agg0"); len(got) != 1 {
+		t.Fatalf("exact match found %d links", len(got))
+	}
+	if got := net.LinksMatching("core0>*"); len(got) != 4 {
+		t.Fatalf("core0 downlink prefix matched %d links, want 4", len(got))
+	}
+	if got := net.LinksMatching("nope*"); len(got) != 0 {
+		t.Fatalf("bogus prefix matched %d links", len(got))
+	}
+	// p1-tor0: 2 hosts down + 2 agg uplinks as egress ports... egress = 2
+	// host downlinks + 2 trunks to aggs = 4; ingress = 2 host uplinks + 2
+	// trunks from aggs = 4.
+	if got := net.SwitchLinks("p1-tor0"); len(got) != 8 {
+		names := make([]string, len(got))
+		for i, l := range got {
+			names[i] = l.Name
+		}
+		t.Fatalf("SwitchLinks(p1-tor0) = %d links %v, want 8", len(got), names)
+	}
+	if got := net.SwitchLinks("missing"); got != nil {
+		t.Fatalf("unknown switch returned %d links", len(got))
+	}
+}
+
+// TestFatTreeToRFailureFailsOver is the tentpole's mechanism test: flows
+// from pod 0 to pod 1 keep completing while a core-facing aggregation
+// uplink flaps, because the agg re-hashes onto its surviving core uplink.
+func TestFatTreeToRFailureFailsOver(t *testing.T) {
+	domains, err := faults.ParseDomains("flap@40us,link=p0-agg0>core0,down=40us,up=40us,count=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FatTreeConfig{K: 4}
+	net := FatTree(cfg, Options{Fabric: domains})
+	sinks := make([]*sink, len(net.Hosts))
+	for i, h := range net.Hosts {
+		sinks[i] = &sink{}
+		h.Demux = sinks[i]
+	}
+	src := cfg.HostIndex(0, 0, 0)
+	dst := cfg.HostIndex(1, 0, 0)
+	sent := 0
+	for wave := 0; wave < 40; wave++ {
+		for f := 0; f < 8; f++ {
+			sendRaw(net, src, dst, 4000+wave*8+f)
+			sent++
+		}
+		net.Sim.RunFor(10 * sim.Microsecond)
+	}
+	net.Sim.RunAll()
+	var failovers int64
+	for _, sw := range net.Switches {
+		failovers += sw.Stats.EcmpFailovers
+	}
+	if failovers == 0 {
+		t.Fatal("no ECMP failovers despite a flapping uplink carrying hashed flows")
+	}
+	snap := net.FabricSnapshot()
+	if snap.Counter("fabric_link_downs_total") != 3 || snap.Counter("fabric_link_ups_total") != 3 {
+		t.Fatalf("flap counters: downs=%d ups=%d, want 3/3",
+			snap.Counter("fabric_link_downs_total"), snap.Counter("fabric_link_ups_total"))
+	}
+	if snap.Counter("ecmp_failovers_total") != failovers {
+		t.Fatalf("snapshot failovers %d != switch stats %d",
+			snap.Counter("ecmp_failovers_total"), failovers)
+	}
+	// Every packet either arrived or died accountably (down-drain at the
+	// flapped link); none vanished.
+	delivered := len(sinks[dst].got)
+	var downDrops int64
+	for _, l := range net.Links {
+		downDrops += l.Stats.DropsDown
+	}
+	if delivered+int(downDrops) != sent {
+		t.Fatalf("accounting leak: sent=%d delivered=%d downDrops=%d", sent, delivered, downDrops)
+	}
+}
+
+// TestFabricSnapshotQuietOnSinglePath: dumbbells without domains must not
+// report fabric state, keeping their telemetry byte-identical.
+func TestFabricSnapshotQuietOnSinglePath(t *testing.T) {
+	net := Dumbbell(2, Options{})
+	if net.HasFabric() {
+		t.Fatal("dumbbell reports HasFabric")
+	}
+	// But arming a domain on a dumbbell link works and flips the signal.
+	domains, err := faults.ParseDomains(fmt.Sprintf("link-down@1ms,link=%s,for=100us", "left>right"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2 := Dumbbell(2, Options{Fabric: domains})
+	if !net2.HasFabric() {
+		t.Fatal("dumbbell with armed domains does not report HasFabric")
+	}
+}

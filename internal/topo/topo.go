@@ -7,10 +7,12 @@ package topo
 
 import (
 	"fmt"
+	"strings"
 
 	"acdc/internal/audit"
 	"acdc/internal/core"
 	"acdc/internal/faults"
+	"acdc/internal/metrics"
 	"acdc/internal/netsim"
 	"acdc/internal/packet"
 	"acdc/internal/sim"
@@ -58,6 +60,13 @@ type Options struct {
 	// (internal/audit) to every AC/DC module. Nil keeps the hot path on the
 	// audit-free branch (zero overhead, byte-identical telemetry).
 	Audit *audit.Config
+	// Fabric, when non-empty, schedules fabric fault domains (link/switch
+	// outages, flaps, gray loss; see faults.ParseDomains) against the built
+	// topology's links by name. Empty leaves the lifecycle machinery cold.
+	Fabric []faults.FaultDomain
+	// FabricSeed seeds gray-loss randomness (default: Seed), independent of
+	// the simulation RNG so the same fabric chaos replays across workloads.
+	FabricSeed int64
 }
 
 // Defaults fills zero fields with the paper's testbed values.
@@ -98,7 +107,10 @@ type Net struct {
 	ACDC     []*core.VSwitch  // nil entries when AC/DC is not attached
 	Audits   []*audit.Auditor // parallel to ACDC; nil when Opts.Audit is nil
 	Faults   *faults.Injector // nil when no fault profile is active
+	Links    []*netsim.Link   // every link in creation order (fault-domain targets)
+	Domains  *faults.Domains  // nil when no fabric fault domains are armed
 	Opts     Options
+	fabric   bool // true for multi-path builders (fat-tree / leaf-spine)
 }
 
 // Stack returns host i's guest stack.
@@ -156,11 +168,14 @@ func newNet(o Options) *Net {
 }
 
 // newLink creates a link and attaches the fault injector when one is active.
+// Every link is registered in Links so fault domains can address it by name.
 func (n *Net) newLink(name string, dst netsim.Handler) *netsim.Link {
 	l := netsim.NewLink(n.Sim, name, n.Opts.LinkRate, n.Opts.LinkDelay, dst)
+	l.Pool = n.Pool
 	if n.Faults != nil {
 		n.Faults.Attach(l)
 	}
+	n.Links = append(n.Links, l)
 	return l
 }
 
@@ -226,6 +241,7 @@ func Star(n int, o Options) *Net {
 		net.addHost(sw, hostAddr(i), fmt.Sprintf("h%d", i))
 	}
 	net.scheduleRestart()
+	net.scheduleFabric()
 	return net
 }
 
@@ -249,6 +265,7 @@ func Dumbbell(pairs int, o Options) *Net {
 		right.AddRoute(net.Hosts[i].Addr, rl)
 	}
 	net.scheduleRestart()
+	net.scheduleFabric()
 	return net
 }
 
@@ -296,6 +313,7 @@ func ParkingLot(o Options) *Net {
 		}
 	}
 	net.scheduleRestart()
+	net.scheduleFabric()
 	return net
 }
 
@@ -313,6 +331,104 @@ func (n *Net) scheduleRestart() {
 		}
 	}
 	p.Schedule(n.Sim, targets)
+}
+
+// scheduleFabric arms Opts.Fabric once every link exists. Called at the end
+// of each topology builder, after scheduleRestart.
+func (n *Net) scheduleFabric() {
+	if len(n.Opts.Fabric) == 0 {
+		return
+	}
+	seed := n.Opts.FabricSeed
+	if seed == 0 {
+		seed = n.Opts.Seed
+	}
+	n.Domains = faults.NewDomains(n.Opts.Fabric, seed)
+	n.Domains.Schedule(n.Sim, n)
+}
+
+// LinksMatching implements faults.FabricView: links whose name matches
+// pattern exactly, or by prefix when the pattern ends in '*'.
+func (n *Net) LinksMatching(pattern string) []*netsim.Link {
+	prefix, wild := strings.CutSuffix(pattern, "*")
+	var out []*netsim.Link
+	for _, l := range n.Links {
+		if (wild && strings.HasPrefix(l.Name, prefix)) || (!wild && l.Name == pattern) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// SwitchLinks implements faults.FabricView: every link attached to the named
+// switch — its egress ports plus the links delivering into it — so a
+// switch-down domain isolates the box in both directions.
+func (n *Net) SwitchLinks(name string) []*netsim.Link {
+	var sw *netsim.Switch
+	for _, s := range n.Switches {
+		if s.Name == name {
+			sw = s
+			break
+		}
+	}
+	if sw == nil {
+		return nil
+	}
+	var out []*netsim.Link
+	for i := 0; i < sw.NumPorts(); i++ {
+		out = append(out, sw.Port(i))
+	}
+	for _, l := range n.Links {
+		if dst, ok := l.Dst.(*netsim.Switch); ok && dst == sw {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// HasFabric reports whether this topology has multi-path forwarding or
+// armed fault domains — the signal for telemetry layers to include the
+// fabric snapshot. Single-path builders without domains return false, so
+// their reports stay byte-identical to pre-fabric output.
+func (n *Net) HasFabric() bool { return n.fabric || n.Domains != nil }
+
+// FabricSnapshot renders link-lifecycle, per-reason drop, and ECMP counters
+// as a metrics snapshot, merged with the fault-domain scheduler's own
+// counters. Per-link and per-switch entries appear only when non-zero, so a
+// healthy fabric stays compact.
+func (n *Net) FabricSnapshot() metrics.Snapshot {
+	c := map[string]int64{}
+	add := func(name string, v int64) {
+		if v != 0 {
+			c[name] += v
+		}
+	}
+	var queue, fault, down int64
+	for _, l := range n.Links {
+		queue += l.Stats.Drops
+		fault += l.Stats.DropsFault
+		down += l.Stats.DropsDown
+		add(fmt.Sprintf("link_down_events_total{link=%s}", l.Name), l.Stats.DownEvents)
+		add(fmt.Sprintf("link_up_events_total{link=%s}", l.Name), l.Stats.UpEvents)
+		add(fmt.Sprintf("link_drops_total{link=%s,reason=queue}", l.Name), l.Stats.Drops)
+		add(fmt.Sprintf("link_drops_total{link=%s,reason=fault}", l.Name), l.Stats.DropsFault)
+		add(fmt.Sprintf("link_drops_total{link=%s,reason=down}", l.Name), l.Stats.DropsDown)
+	}
+	add("link_drops_total{reason=queue}", queue)
+	add("link_drops_total{reason=fault}", fault)
+	add("link_drops_total{reason=down}", down)
+	for _, sw := range n.Switches {
+		add("ecmp_forwarded_total", sw.Stats.EcmpForwarded)
+		add("ecmp_failovers_total", sw.Stats.EcmpFailovers)
+		add("ecmp_blackholes_total", sw.Stats.Blackholes)
+		add(fmt.Sprintf("ecmp_failovers_total{switch=%s}", sw.Name), sw.Stats.EcmpFailovers)
+		add(fmt.Sprintf("ecmp_blackholes_total{switch=%s}", sw.Name), sw.Stats.Blackholes)
+	}
+	snap := metrics.Snapshot{Counters: c}
+	if n.Domains != nil {
+		snap = metrics.Merge(snap, n.Domains.Registry().Snapshot())
+	}
+	return snap
 }
 
 func hostAddr(i int) packet.Addr {
