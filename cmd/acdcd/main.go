@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"acdc/internal/core"
 	"acdc/internal/daemon"
 	"acdc/internal/faults"
 	"acdc/internal/sim"
@@ -46,6 +47,7 @@ func main() {
 		auditSample = flag.Int("audit-sample", 64, "audit 1-in-N packet events (state transitions always checked; <0 disables)")
 		workload    = flag.Bool("workload", true, "drive continuous background bulk traffic")
 		fabricSpec  = flag.String("fabric", "", "fabric fault domains armed on the service links: kind[@time],key=val,...;... (`list` for syntax)")
+		backend     = flag.String("backend", "", "enforcement backend on every vSwitch (dctcp-cut, pace, adaptive-k; empty = dctcp-cut)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -67,6 +69,11 @@ func main() {
 		fabric = ds
 	}
 
+	if _, err := core.ParseBackend(*backend); err != nil {
+		fmt.Fprintf(os.Stderr, "acdcd: bad -backend: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *adminToken == "" && !daemon.LoopbackAddr(*listen) {
 		fmt.Fprintf(os.Stderr, "acdcd: refusing to bind the unauthenticated admin API to non-loopback %q; set -admin-token or listen on 127.0.0.1\n", *listen)
 		os.Exit(2)
@@ -81,6 +88,7 @@ func main() {
 		AuditSample: *auditSample,
 		Workload:    *workload,
 		Fabric:      fabric,
+		Backend:     *backend,
 		AdminToken:  *adminToken,
 	})
 	d.Start()

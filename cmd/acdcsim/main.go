@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"acdc/internal/audit"
+	"acdc/internal/core"
 	"acdc/internal/experiments"
 	"acdc/internal/faults"
 )
@@ -52,7 +53,13 @@ func main() {
 	fabricSpec := flag.String("fabric", "", "fabric fault domains: kind[@time],key=val,...;... (`list` for syntax)")
 	auditOn := flag.Bool("audit", false, "attach the datapath invariant auditor to every AC/DC vSwitch (violations logged to stderr)")
 	auditPanic := flag.Bool("audit-panic", false, "like -audit, but the first violation aborts the run")
+	backend := flag.String("backend", "", "enforcement backend on every AC/DC vSwitch (dctcp-cut, pace, adaptive-k; empty = dctcp-cut)")
 	flag.Parse()
+
+	if _, err := core.ParseBackend(*backend); err != nil {
+		fmt.Fprintf(os.Stderr, "acdcsim: bad -backend: %v\n", err)
+		os.Exit(2)
+	}
 
 	var prof *faults.Profile
 	if *faultSpec != "" {
@@ -121,7 +128,7 @@ func main() {
 		auditCfg = &audit.Config{Panic: *auditPanic}
 	}
 
-	cfg := experiments.RunConfig{Long: *long, Seed: *seed, Faults: prof, Restart: restart, Audit: auditCfg, Fabric: fabric}
+	cfg := experiments.RunConfig{Long: *long, Seed: *seed, Faults: prof, Restart: restart, Audit: auditCfg, Fabric: fabric, Backend: *backend}
 	if prof != nil && prof.Enabled() {
 		// Announce chaos runs up front (and only then, so fault-free output
 		// is byte-identical to a build without the flag).
@@ -130,6 +137,11 @@ func main() {
 	}
 	if restart != nil {
 		fmt.Printf("vSwitch restart: %s on %s\n\n", restart.String(), strings.Join(ids, " "))
+	}
+	if *backend != "" {
+		// Announced only when set, so default-backend output stays
+		// byte-identical to a build without the flag.
+		fmt.Printf("enforcement backend: %s on %s\n\n", *backend, strings.Join(ids, " "))
 	}
 	if len(fabric) > 0 {
 		plans := make([]string, len(fabric))

@@ -35,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"acdc/internal/core"
 	"acdc/internal/faults"
 	"acdc/internal/scenario"
 	"acdc/internal/soak"
@@ -55,7 +56,12 @@ func main() {
 	fabricSpec := flag.String("fabric", "", "`list` shows the fault-domain syntax scenario specs use in their Fabric field")
 	soakMode := flag.Bool("soak", false, "run the service-mode soak (leak/drift gates) instead of the scenario catalog")
 	soakDuration := flag.Duration("soak-duration", 60*time.Second, "wall-clock soak length (with -soak)")
+	backend := flag.String("backend", "", "enforcement backend override for every scenario (dctcp-cut, pace, adaptive-k; empty = spec/default); pair non-default runs with -no-baseline")
 	flag.Parse()
+
+	if _, err := core.ParseBackend(*backend); err != nil {
+		fail(2, "acdcsuite: bad -backend: %v", err)
+	}
 
 	if *soakMode {
 		runSoak(*soakDuration, *seed, *quiet)
@@ -121,13 +127,17 @@ func main() {
 	// gated set: the built-in catalog with no selection.
 	complete := *config == "" && len(names) == 0
 
-	cfg := scenario.SuiteConfig{Seed: *seed, Smoke: *smoke, Workers: *parallel}
+	cfg := scenario.SuiteConfig{Seed: *seed, Smoke: *smoke, Workers: *parallel, Backend: *backend}
 	if !*quiet {
 		cfg.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
 	fmt.Printf("acdcsuite: %d scenario(s), mode %s, seed %d\n", len(specs), cfg.Mode(), *seed)
+	if *backend != "" {
+		// Announced only when overridden, so default runs stay byte-identical.
+		fmt.Printf("enforcement backend: %s (baselines are blessed for the default; use -no-baseline)\n", *backend)
+	}
 	start := time.Now()
 	results, err := scenario.Run(specs, cfg)
 	if err != nil {

@@ -13,6 +13,11 @@ import (
 type Config struct {
 	// VCC names the default virtual congestion control ("dctcp" or "reno").
 	VCC string
+	// Backend names the default enforcement backend ("dctcp-cut", "pace",
+	// or "adaptive-k"; "" = dctcp-cut, the paper's RWND-rewrite mechanism).
+	// Per-flow Policy.Backend overrides it. Unknown names fail open to the
+	// default and are counted in backend_unknown_total (backend.go).
+	Backend string
 	// MTU sets the default MSS (MTU − 40) used before a handshake MSS
 	// option is observed.
 	MTU int
@@ -192,6 +197,12 @@ func Attach(s *sim.Simulator, host *netsim.Host, cfg Config) *VSwitch {
 	}
 	v := &VSwitch{Sim: s, Host: host, Cfg: cfg, Table: NewTable(),
 		Metrics: NewDatapathMetrics(reg)}
+	if !backendKnown(v.Cfg.Backend) {
+		// Unknown backend in the config: fail open to the default mechanism
+		// (counted once here, not per flow) rather than refusing to attach.
+		v.Metrics.BackendUnknown.Inc()
+		v.Cfg.Backend = ""
+	}
 	if cfg.SweepInterval > 0 {
 		v.sweepTimer = sim.NewTimer(s, v.onSweepTick)
 	}
@@ -258,7 +269,13 @@ func (v *VSwitch) policy(k FlowKey) Policy {
 	if v.Cfg.FlowPolicy == nil {
 		return DefaultPolicy()
 	}
-	return v.Cfg.FlowPolicy(k).sanitize()
+	p := v.Cfg.FlowPolicy(k)
+	if !backendKnown(p.Backend) {
+		// sanitize clamps the name to the default backend; the counter is
+		// the only trace the operator gets, so count before the clamp.
+		v.Metrics.BackendUnknown.Inc()
+	}
+	return p.sanitize()
 }
 
 // flowFor is the capacity-aware GetOrCreate every datapath create site goes
@@ -391,6 +408,10 @@ func (v *VSwitch) buildFlow(k FlowKey) *Flow {
 		Alpha:  v.Cfg.InitAlpha,
 	}
 	f.vcc = NewVCC(firstNonEmpty(pol.VCC, v.Cfg.VCC))
+	// Both the policy and the config backend fields are sanitized before
+	// they reach here (Sanitized choke point / Attach), so this resolution
+	// cannot panic; backendFor would double-count the clamp.
+	f.be = newBackend(firstNonEmpty(pol.Backend, v.Cfg.Backend))
 	f.mCwnd, f.mAlpha = v.Metrics.flowHists(f.vcc.Name())
 	f.CwndBytes = v.Cfg.InitCwndPkts * float64(f.MSS)
 	f.SsthreshBytes = 1 << 40

@@ -257,45 +257,41 @@ func (v *VSwitch) senderEgress(f *Flow, p *packet.Packet, t packet.TCP, syn bool
 			f.finFwd = true
 		}
 
-		// Policing trusts the tracked window; a resyncing flow's window is
-		// exactly what cannot be trusted yet, so policing waits with it.
-		// A Policy.Disable flow is exempt from enforcement, so dropping its
-		// beyond-window segments would be exactly the harm it opted out of.
-		if v.Cfg.Police && plen > 0 && f.resync == resyncNone && !f.Policy.Disable {
-			allowance := f.CwndBytes
-			if f.prevCwndBytes > allowance {
-				allowance = f.prevCwndBytes
-			}
-			slack := v.Cfg.PoliceSlackBytes
-			if slack == 0 {
-				slack = 2 * int64(f.MSS)
-			}
-			if segEnd-f.SndUna > int64(allowance)+slack {
-				v.Metrics.PolicingDrops.Inc()
-				if a := v.Audit; a != nil {
-					a.PoliceEvent(v, PoliceEvent{Key: f.Key,
-						SegEnd: segEnd, SndUna: f.SndUna,
-						Enforced: f.enforcedWindow(v.minRwnd(f)), Slack: slack,
-						Resyncing: f.resync != resyncNone, Dropped: true})
-				}
+		// Egress enforcement (policing for the rewrite backends, admission
+		// pacing for pace) trusts the tracked window; a resyncing flow's
+		// window is exactly what cannot be trusted yet, so enforcement waits
+		// with it. A Policy.Disable flow is exempt from enforcement, so
+		// acting on its beyond-window segments would be exactly the harm it
+		// opted out of — every backend sits behind this gate.
+		if f.resync == resyncNone && !f.Policy.Disable {
+			if f.be.OnEgress(v, f, p, segEnd, plen) {
 				return true
 			}
 		}
 
-		if segEnd > f.SndNxt {
-			f.SndNxt = segEnd
-		}
-		if infl := f.SndNxt - f.SndUna; infl > f.maxInflight {
-			f.maxInflight = infl
-		}
-		// Arm the inactivity timer while data is outstanding.
-		if f.inactivity == nil {
-			ff := f
-			f.inactivity = sim.NewTimer(v.Sim, func() { v.onVTimeout(ff) })
-		}
-		f.inactivity.Reset(v.Cfg.VTimeout)
+		v.noteSegmentLocked(f, segEnd)
 	}
 	return false
+}
+
+// noteSegmentLocked advances connection tracking for an admitted outgoing
+// data segment: snd_nxt, the per-ACK inflight peak, and the inactivity
+// timer. Caller holds f.mu on the simulation goroutine. A backend that
+// retains a segment in its own queue (pace) calls this itself — the segment
+// WILL reach the wire, so tracking must advance at admission time.
+func (v *VSwitch) noteSegmentLocked(f *Flow, segEnd int64) {
+	if segEnd > f.SndNxt {
+		f.SndNxt = segEnd
+	}
+	if infl := f.SndNxt - f.SndUna; infl > f.maxInflight {
+		f.maxInflight = infl
+	}
+	// Arm the inactivity timer while data is outstanding.
+	if f.inactivity == nil {
+		ff := f
+		f.inactivity = sim.NewTimer(v.Sim, func() { v.onVTimeout(ff) })
+	}
+	f.inactivity.Reset(v.Cfg.VTimeout)
 }
 
 // attachFeedback implements the receiver module's PACK/FACK emission: the

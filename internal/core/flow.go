@@ -41,6 +41,11 @@ type Policy struct {
 	// VCC overrides the virtual congestion-control algorithm for this flow
 	// ("" = the vSwitch default).
 	VCC string
+	// Backend overrides the enforcement backend for this flow ("dctcp-cut",
+	// "pace", "adaptive-k"; "" = the vSwitch default). Unknown names are
+	// clamped to "" by sanitize — a backend name, unlike β, can never make
+	// enforcement unsafe, so no install path treats it as an error.
+	Backend string
 	// Disable exempts the flow from enforcement entirely.
 	Disable bool
 }
@@ -70,6 +75,10 @@ func (p Policy) Validate() error {
 	if !vccKnown(p.VCC) {
 		return fmt.Errorf("policy: unknown vcc %q (want dctcp, reno, or empty)", p.VCC)
 	}
+	// Backend is deliberately NOT validated here: an unknown backend name
+	// must fail open to the default mechanism mid-stream (sanitize clamps
+	// it; backend_unknown_total counts it), never bounce a policy install.
+	// Parse surfaces that can say no early use ParseBackend instead.
 	return nil
 }
 
@@ -94,6 +103,9 @@ func (p Policy) sanitize() Policy {
 	if !vccKnown(p.VCC) {
 		p.VCC = ""
 	}
+	if !backendKnown(p.Backend) {
+		p.Backend = ""
+	}
 	return p
 }
 
@@ -106,6 +118,12 @@ type Flow struct {
 
 	Policy Policy
 	vcc    VirtualCC
+	// be is the enforcement backend (backend.go), resolved at flow setup
+	// from Policy.Backend/Cfg.Backend and swapped in place by live policy
+	// installs and snapshot restore; bes is its lazily-allocated per-flow
+	// state (nil for the default dctcp-cut backend, which carries none).
+	be  Backend
+	bes *backendState
 	// Per-algorithm CWND/α distribution handles, resolved at flow setup
 	// and sampled once per RTT at each α update (nil when metrics are off).
 	mCwnd, mAlpha *metrics.Histogram

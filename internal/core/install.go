@@ -21,6 +21,12 @@ func (v *VSwitch) InstallPolicy(k FlowKey, p Policy) (Policy, error) {
 	if err := p.Validate(); err != nil {
 		return Policy{}, err
 	}
+	if !backendKnown(p.Backend) {
+		// Unknown backend names are not an error on this surface (the
+		// daemon's stream must keep making forward progress mid-flight);
+		// Sanitized clamps to the default and the counter is the trace.
+		v.Metrics.BackendUnknown.Inc()
+	}
 	p = p.Sanitized()
 	for {
 		old := v.overrides.Load()
@@ -107,6 +113,13 @@ func (v *VSwitch) applyToLive(k FlowKey, p Policy) {
 	if name := firstNonEmpty(p.VCC, v.Cfg.VCC); name != f.vcc.Name() {
 		f.vcc = newVCCOrDefault(name)
 		f.mCwnd, f.mAlpha = v.Metrics.flowHists(f.vcc.Name())
+	}
+	// Swap the enforcement backend the same way. No teardown is needed: a
+	// pace flow's shaper keeps draining already-admitted segments on the
+	// simulation goroutine (this path may run on a control-plane goroutine
+	// and must not touch it), then idles for the GC.
+	if be := newBackend(firstNonEmpty(p.Backend, v.Cfg.Backend)); be != f.be {
+		f.be = be
 	}
 	f.mu.Unlock()
 }

@@ -24,6 +24,9 @@ func TestFlowPolicySanitized(t *testing.T) {
 		{"beta negative", Policy{Beta: -0.5}, Policy{Beta: 1}},
 		{"negative clamp", Policy{Beta: 1, RwndClampBytes: -1}, Policy{Beta: 1}},
 		{"unknown vcc", Policy{Beta: 1, VCC: "bogus"}, Policy{Beta: 1}},
+		{"unknown backend", Policy{Beta: 1, Backend: "bogus"}, Policy{Beta: 1}},
+		{"legal pace backend kept", Policy{Beta: 1, Backend: "pace"},
+			Policy{Beta: 1, Backend: "pace"}},
 		{"legal zero beta kept", Policy{Beta: 0, RwndClampBytes: 5000},
 			Policy{Beta: 0, RwndClampBytes: 5000}},
 		{"legal reno kept", Policy{Beta: 0.5, VCC: "reno"},

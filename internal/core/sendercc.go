@@ -137,35 +137,37 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 			ev.AlphaUpdated, ev.AlphaFrac = true, frac
 		}
 		f.windowTotal, f.windowMarked = 0, 0
-		f.alphaSeq = f.SndNxt
+		f.alphaSeq = f.be.RoundAnchor(v, f, absAck)
 		// Per-RTT distribution samples: the operator's view of where the
 		// fleet's virtual windows and congestion estimates sit.
 		f.mCwnd.Observe(f.CwndBytes)
 		f.mAlpha.Observe(f.Alpha)
 	}
 
-	// Cwnd validation: grow only while the flow actually uses the window
-	// (otherwise an uncongested or guest-limited flow would inflate the
-	// virtual window arbitrarily, defeating both tracking and policing) and
-	// is not overshooting it (right after a cut the guest still has the old
-	// window in flight; crediting that as growth would lift the equilibrium
-	// above the window the algorithm chose). The peak inflight since the
-	// previous ACK is the right gauge — the instantaneous value is zero
-	// whenever a delayed ACK covers everything outstanding.
-	// The overshoot gate only makes sense while enforcement is on: in
-	// observation mode (Figure 9) the guest is not bound by the virtual
-	// window, and tracking requires growth to follow the guest upward.
+	// Cwnd validation: the backend judges whether the guest actually
+	// pressed against the enforcement since the previous ACK, so growth is
+	// earned rather than free (backend.go WindowLimited — the rewriting
+	// backends compare peak inflight against the virtual window, the pacer
+	// asks its token bucket). The peak inflight since the previous ACK is
+	// the gauge — the instantaneous value is zero whenever a delayed ACK
+	// covers everything outstanding.
 	// A Policy.Disable flow is observation-mode regardless of Cfg.EnforceRwnd:
 	// the guest is not bound by the virtual window, so the overshoot gate must
 	// not freeze growth (and the rewrite below is skipped entirely).
 	enforcing := v.Cfg.EnforceRwnd && !f.Policy.Disable
-	cwndLimited := float64(f.maxInflight) >= f.CwndBytes-float64(f.MSS)
-	if enforcing {
-		cwndLimited = cwndLimited && float64(f.maxInflight) <= f.CwndBytes+float64(f.MSS)
-	}
+	cwndLimited := f.be.WindowLimited(v, f, enforcing, f.maxInflight)
 	f.maxInflight = f.SndNxt - f.SndUna
 
-	congested := markedDelta > 0
+	// The enforcement backend owns the congestion decision: dctcp-cut and
+	// pace react to any marked byte (Figure 5); adaptive-k gates the
+	// reaction behind its load-adaptive threshold K (backend.go).
+	congested := f.be.Congested(v, f, totalDelta, markedDelta)
+	if loss && !f.be.LossIsFabric(v, f) {
+		// Dupacks provoked by the backend's own throttling (a pacer
+		// queue-bound drop): the guest's loss recovery is the response;
+		// the fabric said nothing, so the virtual window says nothing.
+		loss = false
+	}
 	switch {
 	case loss:
 		// Figure 5: Loss? yes → α = max_alpha, then cut.
@@ -189,20 +191,10 @@ func (v *VSwitch) processAckLocked(f *Flow, p *packet.Packet, t packet.TCP, info
 	overwrote := false
 	origWnd := t.Window()
 	if enforcing && f.resync == resyncNone {
-		field := enforced >> f.PeerWScale
-		if field == 0 {
-			field = 1
-		}
-		if field > 65535 {
-			field = 65535
-		}
-		if uint16(field) < t.Window() {
-			t.SetWindow(uint16(field))
-			overwrote = true
-			v.Metrics.RwndRewrites.Inc()
-		} else {
-			v.Metrics.RwndUnchanged.Inc()
-		}
+		// The backend imposes the window its own way: dctcp-cut (and
+		// adaptive-k) rewrite the RWND field; pace refreshes its token-
+		// bucket rate and leaves the ACK untouched.
+		overwrote = f.be.OnAck(v, f, t, enforced, fbStale)
 	}
 	if audit != nil {
 		ev.SndUna, ev.SndNxt = f.SndUna, f.SndNxt
@@ -231,7 +223,7 @@ func (v *VSwitch) cutWindow(f *Flow, absAck int64, loss bool) {
 	factor := f.vcc.CutFactor(f, loss)
 	f.CwndBytes *= factor
 	f.SsthreshBytes = f.CwndBytes
-	f.cutSeq = f.SndNxt
+	f.cutSeq = f.be.RoundAnchor(v, f, absAck)
 	v.clampFlow(f)
 	if a := v.Audit; a != nil {
 		a.CutEvent(v, CutEvent{Key: f.Key, Alg: f.vcc.Name(), Loss: loss,
@@ -317,10 +309,13 @@ func (v *VSwitch) buildDupAckLocked(f *Flow) *packet.Packet {
 	if field > 65535 {
 		field = 65535
 	}
+	// The backend chooses the advertised window: rewrite backends use the
+	// enforced field; pace echoes the guest's own last window instead.
+	wnd := f.be.DupAckWindow(v, f, uint16(field))
 	return packet.BuildIn(v.pool(), f.Key.Dst, f.Key.Src, packet.NotECT, packet.TCPFields{
 		SrcPort: f.Key.DPort, DstPort: f.Key.SPort,
 		Seq: f.lastAckWire, Ack: f.iss + uint32(f.SndUna),
-		Flags: packet.FlagACK, Window: uint16(field),
+		Flags: packet.FlagACK, Window: wnd,
 	}, 0)
 }
 

@@ -53,6 +53,12 @@ type RunConfig struct {
 	// silently running a clean fabric. Empty keeps the lifecycle machinery
 	// cold and report output byte-identical.
 	Fabric []faults.FaultDomain
+	// Backend selects the enforcement backend (core.BackendNames) on every
+	// AC/DC module the experiment builds, for head-to-head mechanism
+	// comparisons. Empty keeps the default (dctcp-cut) and report output
+	// byte-identical. Callers validate via core.ParseBackend; unknown names
+	// that reach here fail open to the default at Attach.
+	Backend string
 }
 
 func (c RunConfig) seed() int64 {
@@ -238,6 +244,7 @@ func (s Scheme) options(cfg RunConfig, seed int64) topo.Options {
 		// FabricSeed is pinned like FaultSeed: gray-loss draws replay under
 		// per-iteration seed offsets too.
 		Fabric: cfg.Fabric, FabricSeed: cfg.seed(),
+		Backend: cfg.Backend,
 	}
 }
 

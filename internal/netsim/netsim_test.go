@@ -12,11 +12,15 @@ type collector struct {
 	pkts  []*packet.Packet
 	times []sim.Time
 	s     *sim.Simulator
+	onPkt func() // optional: invoked after each delivery
 }
 
 func (c *collector) HandlePacket(p *packet.Packet) {
 	c.pkts = append(c.pkts, p)
 	c.times = append(c.times, c.s.Now())
+	if c.onPkt != nil {
+		c.onPkt()
+	}
 }
 
 func mkPkt(payload int) *packet.Packet {

@@ -11,6 +11,11 @@ import (
 // Packets are released at Rate bits/sec with up to Burst bytes of credit;
 // excess packets queue (the limiter's own buffer — exactly where CUBIC's
 // RTT inflation comes from) up to MaxQueueBytes, then drop.
+//
+// The same bucket backs the per-flow "pace" enforcement backend
+// (internal/core), which drives it through TryConsume/CanQueue/Enqueue
+// instead of HandlePacket so the passing-vs-queued decision stays with the
+// caller. All methods must run on the simulation goroutine.
 type Shaper struct {
 	Sim   *sim.Simulator
 	Rate  int64 // bits per second
@@ -24,8 +29,14 @@ type Shaper struct {
 	Shaped  int64 // packets released
 	Dropped int64
 
-	tokens     float64 // bytes of credit
+	// tokens is the credit in bytes. It only ever holds multiples of ⅛
+	// (whole bits), so the float64 representation is exact at any bucket
+	// depth this simulator uses — see refill for why that matters.
+	tokens     float64
 	lastRefill sim.Time
+	// carry is the sub-bit accrual remainder in bit-nanoseconds, so credit
+	// earned between refills is exact over any horizon.
+	carry      int64
 	queue      []*packet.Packet
 	queueBytes int
 	pending    bool
@@ -51,32 +62,81 @@ func (sh *Shaper) sendThreshold(need float64) float64 {
 
 // HandlePacket implements Handler.
 func (sh *Shaper) HandlePacket(p *packet.Packet) {
-	sh.refill()
-	need := float64(p.WireLen())
-	if len(sh.queue) == 0 && sh.tokens >= sh.sendThreshold(need) {
-		sh.tokens -= need
-		sh.Shaped++
+	if sh.TryConsume(p.WireLen()) {
 		sh.Dst.HandlePacket(p)
 		return
 	}
-	if sh.MaxQueueBytes > 0 && sh.queueBytes+p.WireLen() > sh.MaxQueueBytes {
+	sh.Enqueue(p)
+}
+
+// TryConsume refills the bucket and, if the backlog is empty and credit
+// covers a packet of n bytes, spends it and reports true: the caller may
+// send the packet immediately. False means the packet must queue (Enqueue)
+// or be dropped — credit is untouched.
+func (sh *Shaper) TryConsume(n int) bool {
+	sh.refill()
+	need := float64(n)
+	if len(sh.queue) == 0 && sh.tokens >= sh.sendThreshold(need) {
+		sh.tokens -= need
+		sh.Shaped++
+		return true
+	}
+	return false
+}
+
+// CanQueue reports whether a packet of n bytes fits under MaxQueueBytes.
+func (sh *Shaper) CanQueue(n int) bool {
+	return sh.MaxQueueBytes <= 0 || sh.queueBytes+n <= sh.MaxQueueBytes
+}
+
+// Enqueue adds p to the backlog, scheduling a release when credit accrues.
+// It reports false (and counts a drop) when the backlog bound rejects p; the
+// caller owns a rejected packet.
+func (sh *Shaper) Enqueue(p *packet.Packet) bool {
+	if !sh.CanQueue(p.WireLen()) {
 		sh.Dropped++
-		return
+		return false
 	}
 	sh.queue = append(sh.queue, p)
 	sh.queueBytes += p.WireLen()
 	sh.schedule()
+	return true
 }
+
+const nsPerSec = int64(sim.Second)
 
 func (sh *Shaper) refill() {
 	now := sh.Sim.Now()
 	dt := now - sh.lastRefill
-	if dt > 0 {
-		sh.tokens += float64(sh.Rate) / 8 * dt.Seconds()
-		if sh.tokens > float64(sh.Burst) {
-			sh.tokens = float64(sh.Burst)
-		}
-		sh.lastRefill = now
+	if dt <= 0 {
+		return
+	}
+	sh.lastRefill = now
+	if sh.Rate <= 0 {
+		return
+	}
+	// Accrue credit in exact integer arithmetic: earned bits = Rate·dt/1e9
+	// with the remainder carried in bit-nanoseconds. The former float64
+	// accumulation (Rate/8 · dt.Seconds()) rounded every refill, and on
+	// soak-length runs billions of refills let that rounding drift the
+	// delivered rate away from Rate; the integer path cannot drift by even
+	// one bit over any horizon. tokens then only ever moves in whole bits
+	// (⅛-byte steps) and stays ≤ Burst, where float64 is exact.
+	//
+	// An idle gap longer than the bucket-fill time is clamped first — the
+	// bucket is full either way (this is the idle clamp: credit never
+	// exceeds Burst no matter how long the shaper sat idle) — which also
+	// keeps Rate·dt far from int64 overflow; the carry resets with it.
+	if fill := (int64(sh.Burst)*8*nsPerSec + sh.Rate - 1) / sh.Rate; int64(dt) > fill {
+		dt = sim.Duration(fill)
+		sh.carry = 0
+	}
+	total := sh.Rate*int64(dt) + sh.carry
+	earnedBits := total / nsPerSec
+	sh.carry = total - earnedBits*nsPerSec
+	sh.tokens += float64(earnedBits) / 8
+	if sh.tokens > float64(sh.Burst) {
+		sh.tokens = float64(sh.Burst)
 	}
 }
 
@@ -106,6 +166,7 @@ func (sh *Shaper) release() {
 			break
 		}
 		sh.tokens -= need // may go negative (borrowing); refill repays
+		sh.queue[0] = nil // drop the reference: the backing array outlives the pop
 		sh.queue = sh.queue[1:]
 		sh.queueBytes -= p.WireLen()
 		sh.Shaped++

@@ -99,6 +99,65 @@ func TestShaperDropsBeyondQueueLimit(t *testing.T) {
 	}
 }
 
+// TestShaperLongHorizonRateConformance is the regression test for the
+// float64 credit-accrual drift: the old refill accumulated Rate/8·dt.Seconds()
+// per call, and over soak-length horizons (millions of refills at an odd rate)
+// the per-refill rounding compounded into a measurable rate error. The integer
+// bit-nanosecond carry cannot drift by even one bit, so a saturated shaper
+// must deliver Rate·horizon bits to within one packet. The rate is chosen so
+// neither bits-per-nanosecond nor the per-packet wait divides evenly —
+// worst case for any floating-point path.
+func TestShaperLongHorizonRateConformance(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	const rate = 997_000_001 // ~1 Gbps, prime-ish: maximal rounding pressure
+	sh := NewShaper(s, rate, 10_000, c)
+	// Keep the shaper saturated edge-triggered: top the backlog back up at
+	// every release instead of polling on a timer, so the queue never runs
+	// dry and every refill interval is the shaper's own (irregular) choice.
+	pkt := 1000
+	c.onPkt = func() {
+		for sh.QueueBytes() < 4*pkt {
+			sh.HandlePacket(mkPkt(pkt - 40)) // mkPkt adds 40B of headers
+		}
+	}
+	c.onPkt()
+	const horizon = 15 * sim.Second // ~1.9M releases/refills at this rate
+	s.Run(horizon)
+	gotBits := int64(0)
+	for _, p := range c.pkts {
+		gotBits += int64(p.WireLen()) * 8
+	}
+	wantBits := int64(float64(rate) * horizon.Seconds())
+	// The bucket starts full, so up to one Burst of credit rides on top of
+	// the accrued rate; beyond that, any surplus or deficit larger than one
+	// packet is genuine accrual drift.
+	gotBits -= int64(sh.Burst) * 8
+	if diff := gotBits - wantBits; diff > int64(pkt*8) || diff < -int64(pkt*8) {
+		t.Fatalf("delivered %d bits over %v at %d bit/s, want %d (drift %d bits = %.1f packets)",
+			gotBits, horizon, int64(rate), wantBits, diff, float64(diff)/float64(pkt*8))
+	}
+}
+
+// TestShaperIdleRefillClampedToBurst: credit accrual across an arbitrarily
+// long idle gap must saturate at the bucket depth — an hour of idling buys
+// exactly one Burst of instantaneous credit, not an hour's worth.
+func TestShaperIdleRefillClampedToBurst(t *testing.T) {
+	s := sim.New(1)
+	c := &collector{s: s}
+	sh := NewShaper(s, 1e6, 5000, c) // 1 Mbps, 5 KB bucket
+	// Prime lastRefill, then idle for an hour of virtual time.
+	sh.TryConsume(0)
+	s.Run(sim.Duration(3600) * sim.Second)
+	passed := 0
+	for sh.TryConsume(1000) {
+		passed++
+	}
+	if passed != 5 {
+		t.Fatalf("idle shaper passed %d KB instantly, want exactly the 5 KB burst", passed)
+	}
+}
+
 func TestShaperFIFO(t *testing.T) {
 	s := sim.New(1)
 	c := &collector{s: s}

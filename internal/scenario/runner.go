@@ -24,6 +24,11 @@ type SuiteConfig struct {
 	Seed int64
 	// Smoke applies each spec's smoke overrides (reduced CI configuration).
 	Smoke bool
+	// Backend, when non-empty, overrides every spec's enforcement backend
+	// (core.BackendNames) so one catalog run compares mechanisms head to
+	// head. Baselines are blessed for the default backend only; non-default
+	// runs should skip the baseline diff and gate on Checks + audit instead.
+	Backend string
 	// Workers is the experiments.Sweep worker count (0 = one per CPU,
 	// 1 = sequential).
 	Workers int
@@ -90,6 +95,9 @@ func Run(specs []Spec, cfg SuiteConfig) ([]*Result, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if _, err := core.ParseBackend(cfg.Backend); err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
 	effective := make([]Spec, 0, len(specs))
 	for _, s := range specs {
 		if err := s.Validate(); err != nil {
@@ -99,6 +107,9 @@ func Run(specs []Spec, cfg SuiteConfig) ([]*Result, error) {
 			s = s.ForSmoke()
 		} else {
 			s = s.withDefaults()
+		}
+		if cfg.Backend != "" {
+			s.Backend = cfg.Backend
 		}
 		effective = append(effective, s)
 	}
@@ -168,8 +179,15 @@ func Run(specs []Spec, cfg SuiteConfig) ([]*Result, error) {
 // scheme's aggregated metrics.
 func evalChecks(s Spec, sr *SchemeResult) []string {
 	var fails []string
+	backend := s.Backend
+	if backend == "" {
+		backend = core.DefaultBackend
+	}
 	for _, c := range s.Checks {
 		if c.Scheme != "" && c.Scheme != sr.Scheme {
+			continue
+		}
+		if c.Backend != "" && c.Backend != backend {
 			continue
 		}
 		v, ok := sr.Metrics[c.Metric]
@@ -224,6 +242,7 @@ func runTrial(s Spec, schemeKey string, seed int64) (map[string]float64, metrics
 		ACDC:        scheme.ACDC,
 		RED:         scheme.RED,
 		Seed:        seed,
+		Backend:     s.Backend,
 	}
 	if s.Faults != "" {
 		p, _ := faults.Parse(s.Faults) // validated upfront
@@ -432,6 +451,11 @@ var headlineCounters = []string{
 	"fault_drops_total",
 	"fault_feedback_drops_total",
 	"fault_feedback_strips_total",
+	"backend_unknown_total",
+	"pace_queued_total",
+	"pace_released_total",
+	"pace_drops_total",
+	"adaptive_k_adjusts_total",
 }
 
 // fabricCounters map fabric_* metric keys onto FabricSnapshot counter names.

@@ -67,6 +67,11 @@ type Options struct {
 	// FabricSeed seeds gray-loss randomness (default: Seed), independent of
 	// the simulation RNG so the same fabric chaos replays across workloads.
 	FabricSeed int64
+	// Backend, when non-empty, overrides the enforcement backend on every
+	// attached AC/DC module ("dctcp-cut", "pace", "adaptive-k") — the knob
+	// the head-to-head comparison runs turn. Empty leaves each config's own
+	// Backend field (usually "", the paper's RWND-rewrite mechanism).
+	Backend string
 }
 
 // Defaults fills zero fields with the paper's testbed values.
@@ -210,6 +215,9 @@ func (n *Net) addHost(sw *netsim.Switch, addr packet.Addr, name string) int {
 	}
 	if acdcCfg != nil {
 		cfg := *acdcCfg
+		if o.Backend != "" {
+			cfg.Backend = o.Backend
+		}
 		v := core.Attach(n.Sim, h, cfg)
 		n.ACDC = append(n.ACDC, v)
 		if o.Audit != nil {
